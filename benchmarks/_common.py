@@ -1,0 +1,101 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at simulator
+scale and prints the reproduced rows/series (captured into the pytest output
+with ``-s``, and summarized in EXPERIMENTS.md).  The ``benchmark`` fixture
+times the underlying computation so regressions in the library itself are
+also visible.
+
+Scale note: the paper's experiments use 109 - 18,432 cores and matrices up to
+millions of rows; the simulator runs every rank as a Python object, so the
+sweeps below use geometrically spaced core counts up to 64 and matrices of a
+few hundred rows.  The regime definitions (strong scaling / limited memory /
+extra memory, section 8) are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.harness import DEFAULT_ALGORITHMS, sweep
+from repro.experiments.report import format_table
+from repro.workloads.scaling import (
+    Scenario,
+    extra_memory_sweep,
+    limited_memory_sweep,
+    strong_scaling_sweep,
+)
+from repro.workloads.shapes import ProblemShape, flat_shape, large_k_shape, large_m_shape, square_shape
+
+#: Core counts used by every sweep (the paper uses 2^7 .. 2^14.2).
+CORE_COUNTS = (4, 16, 36, 64)
+
+#: Per-core memory used by the weak-scaling sweeps, in words.
+MEMORY_WORDS = 2048
+
+#: Strong-scaling shapes per family (scaled-down analogues of section 8's sizes).
+STRONG_SHAPES = {
+    "square": square_shape(96),
+    "largeK": large_k_shape(16, 1024),
+    "largeM": large_m_shape(1024, 16),
+    "flat": flat_shape(192, 12),
+}
+
+
+def scenarios_for(family: str, regime: str, p_values: Sequence[int] = CORE_COUNTS) -> list[Scenario]:
+    """Build the scenario list for one (shape family, regime) benchmark."""
+    if regime == "strong":
+        return strong_scaling_sweep(STRONG_SHAPES[family], p_values, memory_words=8 * MEMORY_WORDS)
+    if regime == "limited":
+        return limited_memory_sweep(family, p_values, memory_words=MEMORY_WORDS)
+    if regime == "extra":
+        return extra_memory_sweep(family, p_values, memory_words=MEMORY_WORDS)
+    raise ValueError(f"unknown regime {regime!r}")
+
+
+_SWEEP_CACHE: dict = {}
+
+
+def run_benchmark_sweep(
+    family: str,
+    regime: str,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    p_values: Sequence[int] = CORE_COUNTS,
+):
+    """Run a full (family, regime) sweep across algorithms; results are verified.
+
+    Results are cached per session: several figures (e.g. Figure 6 and
+    Figures 8/9) are different views of the same measurement campaign, exactly
+    as in the paper.
+    """
+    key = (family, regime, tuple(algorithms), tuple(p_values))
+    if key not in _SWEEP_CACHE:
+        _SWEEP_CACHE[key] = sweep(
+            scenarios_for(family, regime, p_values), algorithms=tuple(algorithms), seed=0
+        )
+    return _SWEEP_CACHE[key]
+
+
+def print_series(title: str, series: dict[str, list[tuple[int, float]]], unit: str) -> None:
+    """Print one figure panel as a plain-text table."""
+    p_values = sorted({p for points in series.values() for p, _ in points})
+    headers = ["algorithm"] + [f"p={p}" for p in p_values]
+    rows = []
+    for name, points in sorted(series.items()):
+        by_p = dict(points)
+        rows.append([name] + [by_p.get(p, float("nan")) for p in p_values])
+    print(f"\n== {title} [{unit}] ==")
+    print(format_table(headers, rows))
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    if not rows:
+        print(f"\n== {title} == (no rows)")
+        return
+    keys = list(rows[0].keys())
+    print(f"\n== {title} ==")
+    print(format_table(keys, [[row.get(key, "") for key in keys] for row in rows]))
+
+
+def shape_label(shape: ProblemShape) -> str:
+    return f"{shape.family} m={shape.m} n={shape.n} k={shape.k}"

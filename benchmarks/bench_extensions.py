@@ -1,0 +1,95 @@
+"""Extensions: multi-level memory hierarchies and LU/Cholesky (paper's section 11 outlook).
+
+These are not figures in the paper; they reproduce the conclusion's claim that
+the I/O-optimality machinery generalizes to deeper memory hierarchies and to
+other dense factorizations.
+"""
+
+import numpy as np
+from _common import print_rows
+
+from repro.extensions.factorizations import (
+    cholesky_io_lower_bound,
+    out_of_core_cholesky,
+    parallel_cholesky_cost,
+    parallel_lu_cost,
+)
+from repro.extensions.multilevel import multilevel_schedule, simulate_multilevel_io
+
+
+def _multilevel_study(m=32, n=32, k=32, capacities=(32, 256, 4096)):
+    schedule = multilevel_schedule(m, n, k, capacities)
+    misses = simulate_multilevel_io(schedule, capacities)
+    rows = []
+    for level, measured in zip(schedule.levels, misses):
+        rows.append(
+            {
+                "level": level.level,
+                "capacity": level.capacity_words,
+                "tile": f"{level.tile_m}x{level.tile_n}",
+                "lower_bound": round(level.lower_bound),
+                "predicted": round(level.predicted_traffic),
+                "lru_measured": measured,
+            }
+        )
+    return rows
+
+
+def test_extension_multilevel_hierarchy(benchmark):
+    rows = benchmark.pedantic(_multilevel_study, rounds=1, iterations=1)
+    print_rows("Extension: 3-level memory hierarchy, 32^3 MMM", rows)
+    for row in rows:
+        assert row["predicted"] >= row["lower_bound"] * 0.99
+    measured = [row["lru_measured"] for row in rows]
+    assert measured == sorted(measured, reverse=True)
+
+
+def _cholesky_study(n=60, memories=(108, 300, 1200)):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    spd = a @ a.T + n * np.eye(n)
+    reference = np.linalg.cholesky(spd)
+    rows = []
+    for s in memories:
+        run = out_of_core_cholesky(spd, memory_words=s)
+        rows.append(
+            {
+                "S": s,
+                "block": run.block_size,
+                "measured_io": run.io,
+                "lower_bound": round(cholesky_io_lower_bound(n, s)),
+                "correct": bool(np.allclose(run.factor, reference, atol=1e-7)),
+            }
+        )
+    return rows
+
+
+def test_extension_out_of_core_cholesky(benchmark):
+    rows = benchmark.pedantic(_cholesky_study, rounds=1, iterations=1)
+    print_rows("Extension: out-of-core blocked Cholesky (n=60)", rows)
+    assert all(row["correct"] for row in rows)
+    ios = [row["measured_io"] for row in rows]
+    assert ios == sorted(ios, reverse=True)
+
+
+def test_extension_parallel_factorization_costs(benchmark):
+    def costs():
+        rows = []
+        for n, p, s in [(4096, 64, 65536), (8192, 256, 65536)]:
+            lu = parallel_lu_cost(n, p, s)
+            chol = parallel_cholesky_cost(n, p, s)
+            rows.append(
+                {
+                    "n": n,
+                    "p": p,
+                    "S": s,
+                    "lu_words": round(lu.total_words),
+                    "cholesky_words": round(chol.total_words),
+                }
+            )
+        return rows
+
+    rows = benchmark(costs)
+    print_rows("Extension: parallel LU / Cholesky communication (COSMA-style updates)", rows)
+    for row in rows:
+        assert row["cholesky_words"] < row["lu_words"]

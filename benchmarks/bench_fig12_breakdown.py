@@ -1,0 +1,75 @@
+"""Figure 12: communication / computation time breakdown, with and without overlap.
+
+The paper breaks COSMA's runtime into "sending inputs A and B", "sending
+output C", "computation" and "other", for the smallest and largest core counts
+of each matrix shape, with and without communication-computation overlap.
+This benchmark reproduces the same breakdown from the simulator counters and
+the overlap model, and checks the qualitative facts: the communication share
+grows with the core count, and enabling overlap never increases the total.
+"""
+
+import pytest
+from _common import CORE_COUNTS, run_benchmark_sweep
+
+from repro.experiments.perf_model import time_breakdown
+from repro.experiments.report import format_table
+from repro.machine.topology import MachineSpec
+
+SPEC = MachineSpec(name="bandwidth-bound", network_latency_s=0.0)
+SHAPES = ("square", "largeK", "largeM", "flat")
+
+
+def _breakdowns():
+    rows = []
+    for family in SHAPES:
+        runs = [r for r in run_benchmark_sweep(family, "strong", ("COSMA",)) if r.algorithm == "COSMA"]
+        for run in runs:
+            if run.scenario.p not in (min(CORE_COUNTS), max(CORE_COUNTS)):
+                continue
+            breakdown = time_breakdown(run, SPEC)
+            rows.append(
+                {
+                    "shape": family,
+                    "p": run.scenario.p,
+                    "compute_s": breakdown.computation,
+                    "send_AB_s": breakdown.input_communication,
+                    "send_C_s": breakdown.output_communication,
+                    "total_no_overlap_s": breakdown.total_no_overlap,
+                    "total_with_overlap_s": breakdown.total_with_overlap,
+                    "comm_fraction": breakdown.communication_fraction,
+                }
+            )
+    return rows
+
+
+def test_fig12_breakdown(benchmark):
+    rows = benchmark.pedantic(_breakdowns, rounds=1, iterations=1)
+    headers = list(rows[0].keys())
+    print("\n== Figure 12: COSMA time breakdown (strong scaling, smallest/largest p) ==")
+    print(format_table(headers, [[row[h] for h in headers] for row in rows]))
+
+    by_shape: dict[str, list[dict]] = {}
+    for row in rows:
+        by_shape.setdefault(row["shape"], []).append(row)
+    for family, pair in by_shape.items():
+        pair.sort(key=lambda r: r["p"])
+        small, large = pair[0], pair[-1]
+        # Communication share grows as the same problem is spread over more cores.
+        assert large["comm_fraction"] >= small["comm_fraction"] - 0.05, family
+        for row in pair:
+            assert row["total_with_overlap_s"] <= row["total_no_overlap_s"] + 1e-12
+
+
+def test_fig12_overlap_benefit_when_balanced(benchmark):
+    """Overlap helps most when communication and computation are comparable."""
+    runs = benchmark.pedantic(
+        run_benchmark_sweep, args=("square", "strong", ("COSMA",)), rounds=1, iterations=1
+    )
+    improvements = []
+    for run in runs:
+        breakdown = time_breakdown(run, SPEC)
+        if breakdown.total_no_overlap > 0:
+            improvements.append(1.0 - breakdown.total_with_overlap / breakdown.total_no_overlap)
+    print(f"\nFigure 12: overlap time savings across core counts: {improvements}")
+    assert all(imp >= -1e-9 for imp in improvements)
+    assert max(improvements) > 0.05

@@ -1,0 +1,48 @@
+"""Figures 13 and 14: distribution of achieved % of peak across core counts.
+
+The paper shows, for each of the twelve (shape x regime) scenarios, the
+distribution of achieved performance over all core counts.  This benchmark
+computes min / geometric mean / max of the simulated % of peak for every
+algorithm and scenario class and checks the headline distributional claims.
+"""
+
+import pytest
+from _common import print_rows, run_benchmark_sweep
+
+from repro.experiments.report import performance_distribution
+from repro.machine.topology import MachineSpec
+
+SPEC = MachineSpec(name="bandwidth-bound", network_latency_s=0.0)
+
+
+def _distribution(family: str, regime: str):
+    runs = run_benchmark_sweep(family, regime)
+    return performance_distribution(runs, SPEC)
+
+
+@pytest.mark.parametrize("family", ["square", "flat"])
+@pytest.mark.parametrize("regime", ["strong", "limited", "extra"])
+def test_fig13_square_flat_distribution(benchmark, family, regime):
+    summary = benchmark.pedantic(_distribution, args=(family, regime), rounds=1, iterations=1)
+    rows = [
+        {"algorithm": name, **{key: round(value, 2) for key, value in stats.items()}}
+        for name, stats in sorted(summary.items())
+    ]
+    print_rows(f"Figure 13 ({family}, {regime}): % of peak distribution", rows)
+    cosma = summary["COSMA"]
+    for name, stats in summary.items():
+        assert cosma["geomean"] >= stats["geomean"] * 0.85, name
+
+
+@pytest.mark.parametrize("family", ["largeK", "largeM"])
+@pytest.mark.parametrize("regime", ["strong", "limited", "extra"])
+def test_fig14_tall_distribution(benchmark, family, regime):
+    summary = benchmark.pedantic(_distribution, args=(family, regime), rounds=1, iterations=1)
+    rows = [
+        {"algorithm": name, **{key: round(value, 2) for key, value in stats.items()}}
+        for name, stats in sorted(summary.items())
+    ]
+    print_rows(f"Figure 14 ({family}, {regime}): % of peak distribution", rows)
+    cosma = summary["COSMA"]
+    for name, stats in summary.items():
+        assert cosma["geomean"] >= stats["geomean"] * 0.85, name

@@ -1,0 +1,50 @@
+"""Figure 1: summary of achieved % of peak across all experiment classes.
+
+Figure 1 condenses the whole evaluation into maximum and geometric-mean
+achieved performance for square and tall matrices, in the strong-scaling /
+limited-memory / extra-memory regimes, for all four libraries.  This benchmark
+aggregates the simulated campaign the same way.
+"""
+
+from _common import print_rows, run_benchmark_sweep
+
+from repro.experiments.report import geometric_mean, performance_distribution
+from repro.machine.topology import MachineSpec
+
+SPEC = MachineSpec(name="bandwidth-bound", network_latency_s=0.0)
+
+CLASSES = {
+    "square/strong": ("square", "strong"),
+    "square/limited": ("square", "limited"),
+    "square/extra": ("square", "extra"),
+    "tall/strong": ("largeK", "strong"),
+    "tall/limited": ("largeK", "limited"),
+    "tall/extra": ("largeK", "extra"),
+}
+
+
+def _summary():
+    rows = []
+    for label, (family, regime) in CLASSES.items():
+        runs = run_benchmark_sweep(family, regime)
+        summary = performance_distribution(runs, SPEC)
+        row = {"experiment": label}
+        for algo, stats in sorted(summary.items()):
+            row[f"{algo}_geomean"] = round(stats["geomean"], 2)
+            row[f"{algo}_max"] = round(stats["max"], 2)
+        rows.append(row)
+    return rows
+
+
+def test_fig1_summary(benchmark):
+    rows = benchmark.pedantic(_summary, rounds=1, iterations=1)
+    print_rows("Figure 1: % of peak, geometric mean and maximum per experiment class", rows)
+    # COSMA's geometric mean is the best (or tied) in every experiment class.
+    for row in rows:
+        cosma = row["COSMA_geomean"]
+        others = [value for key, value in row.items() if key.endswith("_geomean") and not key.startswith("COSMA")]
+        assert cosma >= max(others) * 0.85, row["experiment"]
+    # Overall geometric-mean advantage across classes is positive.
+    cosma_means = [row["COSMA_geomean"] for row in rows]
+    scalapack_means = [row["ScaLAPACK_geomean"] for row in rows]
+    assert geometric_mean(cosma_means) > geometric_mean(scalapack_means)

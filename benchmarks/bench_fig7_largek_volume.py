@@ -1,0 +1,49 @@
+"""Figure 7: communication volume per core, "largeK" (tall-and-skinny) matrices.
+
+The largeK shapes (m = n << k, as in the RPA application) are where the fixed
+2D decomposition loses most dramatically: it communicates the whole k extent
+across a square grid.  The paper's Figure 7 shows COSMA and CARMA orders of
+magnitude below ScaLAPACK; this benchmark checks the same ordering and that
+the COSMA : ScaLAPACK gap is much larger than for square matrices.
+"""
+
+import pytest
+from _common import print_series, run_benchmark_sweep
+
+from repro.experiments.report import group_by_scenario, volume_series
+
+
+@pytest.mark.parametrize("regime", ["strong", "limited", "extra"])
+def test_fig7_largek_volume(benchmark, regime):
+    runs = benchmark.pedantic(
+        run_benchmark_sweep, args=("largeK", regime), rounds=1, iterations=1
+    )
+    assert all(run.correct for run in runs)
+    series = volume_series(runs)
+    print_series(f"Figure 7 ({regime} scaling, largeK)", series, "MB per rank")
+    grouped = group_by_scenario(runs)
+    for by_algo in grouped.values():
+        cosma = by_algo["COSMA"].mean_received_per_rank
+        best_other = min(
+            run.mean_received_per_rank for name, run in by_algo.items() if name != "COSMA"
+        )
+        assert cosma <= best_other * 1.2
+
+
+def test_fig7_largek_scalapack_gap(benchmark):
+    """At the largest core count the 2D baseline moves several times more data."""
+    runs = benchmark.pedantic(
+        run_benchmark_sweep,
+        args=("largeK", "strong", ("COSMA", "ScaLAPACK"), (36, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    grouped = group_by_scenario(runs)
+    ratios = []
+    for by_algo in grouped.values():
+        ratios.append(
+            by_algo["ScaLAPACK"].mean_received_per_rank
+            / max(1.0, by_algo["COSMA"].mean_received_per_rank)
+        )
+    print(f"\nFigure 7: ScaLAPACK/COSMA received-volume ratios (largeK strong): {ratios}")
+    assert max(ratios) > 2.0

@@ -1,0 +1,67 @@
+"""Theorem 1 / Listing 1: sequential I/O optimality of the tiled schedule.
+
+Not a figure in the paper, but the quantitative core of its theory: the
+sequential schedule's I/O is within ``sqrt(S)/(sqrt(S+1)-1)`` of the
+``2mnk/sqrt(S) + mn`` lower bound.  This benchmark measures the I/O of the
+executable schedule on the memory-hierarchy simulator across memory sizes and
+compares it against the bound, the simple rank-1 (square-tile) schedule and a
+hardware-like LRU cache.
+"""
+
+import numpy as np
+from _common import print_rows
+
+from repro.pebbling.mmm_bounds import (
+    near_optimal_sequential_io,
+    sequential_io_lower_bound,
+    sequential_optimality_ratio,
+)
+from repro.sequential import naive_multiply_lru, rank1_multiply, tiled_multiply
+
+
+def _sweep(m=32, n=32, k=32, memories=(32, 64, 128, 256, 512)):
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    rows = []
+    for s in memories:
+        tiled = tiled_multiply(a, b, memory_words=s)
+        square = rank1_multiply(a, b, memory_words=s)
+        lru = naive_multiply_lru(a, b, memory_words=s)
+        bound = sequential_io_lower_bound(m, n, k, s)
+        rows.append(
+            {
+                "S": s,
+                "lower_bound": round(bound),
+                "tiled_io": tiled.io,
+                "square_tile_io": square.io,
+                "naive_lru_io": lru.io,
+                "tiled_over_bound": round(tiled.io / bound, 3),
+                "predicted_feasible": round(near_optimal_sequential_io(m, n, k, s)),
+            }
+        )
+    return rows
+
+
+def test_theorem1_sequential_io(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_rows("Theorem 1: sequential I/O vs the lower bound (32^3 MMM)", rows)
+    for row in rows:
+        # The scheduled kernel always beats the LRU cache and the ratio to the
+        # bound stays bounded by a small constant at these tile sizes.
+        assert row["tiled_io"] <= row["naive_lru_io"]
+        assert row["tiled_over_bound"] < 2.5
+    # More memory means less I/O.
+    ios = [row["tiled_io"] for row in rows]
+    assert ios == sorted(ios, reverse=True)
+
+
+def test_theorem1_optimality_ratio_convergence(benchmark):
+    def ratios():
+        return {s: sequential_optimality_ratio(s) for s in (64, 1024, 1 << 14, 1 << 20, 10 * 1024 * 1024 // 8)}
+
+    values = benchmark(ratios)
+    print(f"\nTheorem 1: sqrt(S)/(sqrt(S+1)-1) ratio per memory size: {values}")
+    # The paper: less than 0.1% above the bound for 10 MB of fast memory.
+    assert values[10 * 1024 * 1024 // 8] < 1.001
+    assert sorted(values.values(), reverse=True) == list(values.values())

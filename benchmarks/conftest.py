@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+The benchmarks live outside the default ``testpaths``; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the reproduced tables/series printed by each benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import _common` work regardless of how pytest sets up sys.path.
+sys.path.insert(0, str(Path(__file__).parent))

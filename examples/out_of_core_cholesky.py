@@ -1,0 +1,65 @@
+"""Beyond MMM: out-of-core Cholesky and deep memory hierarchies.
+
+The paper closes by noting that its I/O-optimality machinery generalizes to
+other linear-algebra kernels (LU, Cholesky) and to machines with more than two
+memory levels.  This example exercises both extensions:
+
+1. factor a symmetric positive-definite matrix with the blocked out-of-core
+   Cholesky, counting its slow-memory traffic and comparing it against the
+   Cholesky I/O lower bound ``n^3/(3 sqrt(S)) + n^2``;
+2. derive a nested tiled MMM schedule for a three-level memory hierarchy and
+   compare the per-level traffic against the per-level Theorem 1 bounds.
+
+Run with::
+
+    python examples/out_of_core_cholesky.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extensions.factorizations import cholesky_io_lower_bound, out_of_core_cholesky
+from repro.extensions.multilevel import multilevel_schedule, simulate_multilevel_io
+
+
+def cholesky_demo() -> None:
+    n = 72
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    spd = a @ a.T + n * np.eye(n)
+    reference = np.linalg.cholesky(spd)
+
+    print("Out-of-core blocked Cholesky (n = 72)")
+    print(f"{'S [words]':>10} {'block':>6} {'measured I/O':>13} {'lower bound':>12} {'ratio':>6}")
+    for s in (3 * 9 * 9, 3 * 18 * 18, 3 * 36 * 36):
+        run = out_of_core_cholesky(spd, memory_words=s)
+        assert np.allclose(run.factor, reference, atol=1e-7)
+        bound = cholesky_io_lower_bound(n, s)
+        print(f"{s:>10} {run.block_size:>6} {run.io:>13,} {bound:>12,.0f} {run.io / bound:>6.2f}")
+    print("factors verified against numpy.linalg.cholesky: OK\n")
+
+
+def multilevel_demo() -> None:
+    m = n = k = 48
+    capacities = [32, 512, 8192]  # e.g. registers / L1 / L2 (in words)
+    schedule = multilevel_schedule(m, n, k, capacities)
+    misses = simulate_multilevel_io(schedule, capacities)
+
+    print("Nested tiling for a 3-level memory hierarchy (48^3 MMM)")
+    print(f"{'level':>5} {'capacity':>9} {'tile':>8} {'Theorem-1 bound':>16} {'predicted':>10} {'LRU replay':>11}")
+    for level, measured in zip(schedule.levels, misses):
+        print(
+            f"{level.level:>5} {level.capacity_words:>9} "
+            f"{f'{level.tile_m}x{level.tile_n}':>8} {level.lower_bound:>16,.0f} "
+            f"{level.predicted_traffic:>10,.0f} {measured:>11,}"
+        )
+    print(
+        "\nEach level's traffic obeys its own Theorem-1 bound; the innermost level"
+        " moves the most words, exactly as the nested analysis predicts."
+    )
+
+
+if __name__ == "__main__":
+    cholesky_demo()
+    multilevel_demo()

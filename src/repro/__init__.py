@@ -1,0 +1,55 @@
+"""COSMA reproduction: near communication-optimal parallel matrix-matrix multiplication.
+
+This package reproduces the system described in
+
+    Kwasniewski et al., "Red-Blue Pebbling Revisited: Near Optimal Parallel
+    Matrix-Matrix Multiplication", SC 2019 (arXiv:1908.09606).
+
+It provides:
+
+* :mod:`repro.pebbling` -- the red-blue pebble game, CDAGs, X-partitions and
+  the I/O lower-bound machinery (Lemmas 1-4, Theorems 1-2).
+* :mod:`repro.machine` -- a two-level memory hierarchy simulator and a
+  distributed machine simulator with exact communication-volume accounting.
+* :mod:`repro.layouts` -- blocked (COSMA, section 7.6) and block-cyclic
+  (ScaLAPACK) data layouts plus redistribution.
+* :mod:`repro.core` -- the COSMA algorithm: optimal sequential schedule,
+  parallelization, processor-grid fitting, overlap, and the distributed
+  executor.
+* :mod:`repro.baselines` -- Cannon, SUMMA (2D), 2.5D/3D, and CARMA-style
+  recursive decompositions implemented on the same simulator.
+* :mod:`repro.sequential` -- sequential MMM kernels executed against the
+  memory-hierarchy simulator.
+* :mod:`repro.workloads` -- matrix-shape and scaling-scenario generators used
+  in the paper's evaluation (section 8).
+* :mod:`repro.experiments` -- the benchmark harness, performance model and
+  report generators that regenerate every table and figure.
+
+Quick start
+-----------
+
+>>> from repro import multiply
+>>> import numpy as np
+>>> A = np.random.rand(64, 48); B = np.random.rand(48, 80)
+>>> result = multiply(A, B, processors=8, memory_words=512)
+>>> bool(np.allclose(result.matrix, A @ B))
+True
+"""
+
+from repro._version import __version__
+from repro.api import (
+    MultiplyResult,
+    cosma_cost,
+    lower_bound_parallel,
+    lower_bound_sequential,
+    multiply,
+)
+
+__all__ = [
+    "__version__",
+    "multiply",
+    "MultiplyResult",
+    "cosma_cost",
+    "lower_bound_sequential",
+    "lower_bound_parallel",
+]

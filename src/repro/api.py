@@ -1,0 +1,120 @@
+"""High-level public API.
+
+Most users only need :func:`multiply` (run COSMA on a simulated distributed
+machine and get the product plus its communication profile) and the analytic
+cost / lower-bound helpers.  Everything else is available through the
+subpackages documented in the README's architecture overview.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cosma import CosmaRunResult, cosma_multiply
+from repro.core.cost_model import cosma_io_cost
+from repro.pebbling.mmm_bounds import parallel_io_lower_bound, sequential_io_lower_bound
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class MultiplyResult:
+    """Result of :func:`multiply`: the product plus its communication profile."""
+
+    matrix: np.ndarray
+    #: Processor grid used, as a ``(pm, pn, pk)`` tuple.
+    grid: tuple[int, int, int]
+    #: Number of processors the fitted grid actually uses.
+    processors_used: int
+    #: Average words moved (sent + received) per rank.
+    mean_words_per_rank: float
+    #: Average words received per rank (the quantity Theorem 2 bounds).
+    mean_received_per_rank: float
+    #: Total words transferred across the whole machine.
+    total_communicated_words: int
+    #: Number of communication rounds of the schedule.
+    rounds: int
+    #: Theorem 2 lower bound for this problem (per-processor words).
+    lower_bound_per_rank: float
+
+    @property
+    def optimality_ratio(self) -> float:
+        """Measured per-rank received volume divided by the Theorem 2 bound."""
+        if self.lower_bound_per_rank <= 0:
+            return float("inf")
+        return self.mean_received_per_rank / self.lower_bound_per_rank
+
+
+def multiply(
+    a_matrix: np.ndarray,
+    b_matrix: np.ndarray,
+    processors: int,
+    memory_words: int,
+    max_idle_fraction: float = 0.03,
+) -> MultiplyResult:
+    """Multiply ``A @ B`` with COSMA on a simulated ``processors``-rank machine.
+
+    Parameters
+    ----------
+    a_matrix, b_matrix:
+        Input matrices of shapes ``(m, k)`` and ``(k, n)``.
+    processors:
+        Number of simulated processors.
+    memory_words:
+        Local memory per processor, in matrix elements (words).
+    max_idle_fraction:
+        Fraction of processors the grid optimizer may leave idle (section 7.1).
+
+    Returns
+    -------
+    MultiplyResult
+        The numerical product together with the measured communication
+        profile and the matching I/O lower bound.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> a = np.ones((32, 16)); b = np.ones((16, 24))
+    >>> out = multiply(a, b, processors=4, memory_words=4096)
+    >>> bool(np.allclose(out.matrix, a @ b))
+    True
+    """
+    processors = check_positive_int(processors, "processors")
+    memory_words = check_positive_int(memory_words, "memory_words")
+    result: CosmaRunResult = cosma_multiply(
+        np.asarray(a_matrix),
+        np.asarray(b_matrix),
+        processors,
+        memory_words,
+        max_idle_fraction=max_idle_fraction,
+    )
+    m, k = np.asarray(a_matrix).shape
+    _, n = np.asarray(b_matrix).shape
+    bound = parallel_io_lower_bound(m, n, k, processors, memory_words)
+    counters = result.counters
+    return MultiplyResult(
+        matrix=result.matrix,
+        grid=result.grid.as_tuple(),
+        processors_used=result.grid.p_used,
+        mean_words_per_rank=counters.mean_words_per_rank(),
+        mean_received_per_rank=counters.mean_received_per_rank(),
+        total_communicated_words=counters.total_words_sent,
+        rounds=result.num_rounds,
+        lower_bound_per_rank=bound,
+    )
+
+
+def cosma_cost(m: int, n: int, k: int, processors: int, memory_words: int) -> float:
+    """Analytic per-processor I/O cost of COSMA (equals the Theorem 2 bound)."""
+    return cosma_io_cost(m, n, k, processors, memory_words)
+
+
+def lower_bound_sequential(m: int, n: int, k: int, memory_words: int) -> float:
+    """Theorem 1: sequential MMM I/O lower bound ``2mnk/sqrt(S) + mn``."""
+    return sequential_io_lower_bound(m, n, k, memory_words)
+
+
+def lower_bound_parallel(m: int, n: int, k: int, processors: int, memory_words: int) -> float:
+    """Theorem 2: parallel MMM per-processor I/O lower bound."""
+    return parallel_io_lower_bound(m, n, k, processors, memory_words)

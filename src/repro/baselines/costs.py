@@ -1,0 +1,134 @@
+"""Analytic per-processor I/O and latency costs of Table 3.
+
+Each formula gives the *general case* row of Table 3; the two special-case
+rows (square matrices with limited memory, tall matrices with extra memory)
+are obtained by instantiating the same formulas and are checked against the
+paper's simplified expressions in the tests and in
+``benchmarks/bench_table3_costs.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cost_model import cosma_io_cost, cosma_latency_cost
+from repro.utils.validation import check_positive_int
+
+
+# ---------------------------------------------------------------------------
+# 2D decomposition (Cannon / SUMMA / ScaLAPACK)
+# ---------------------------------------------------------------------------
+def io_cost_2d(m: int, n: int, k: int, p: int) -> float:
+    """Per-processor I/O of the 2D decomposition: ``k(m + n)/sqrt(p) + mn/p``."""
+    check_positive_int(p, "p")
+    return float(k) * (m + n) / math.sqrt(p) + float(m) * n / p
+
+
+def latency_cost_2d(m: int, n: int, k: int, p: int) -> float:
+    """Latency of the 2D decomposition: ``2 k log2(sqrt(p))`` rounds (Table 3)."""
+    check_positive_int(p, "p")
+    return 2.0 * k * math.log2(max(2.0, math.sqrt(p)))
+
+
+# ---------------------------------------------------------------------------
+# 2.5D decomposition (CTF); the 3D decomposition is the special case c = p^(1/3)
+# ---------------------------------------------------------------------------
+def replication_factor_25d(m: int, n: int, k: int, p: int, s: int) -> float:
+    """The 2.5D replication factor ``c = pS / (mk + nk)``, clamped to ``[1, p^(1/3)]``."""
+    check_positive_int(p, "p")
+    check_positive_int(s, "S")
+    ideal = float(p) * s / (float(m) * k + float(n) * k)
+    return min(max(1.0, ideal), float(p) ** (1.0 / 3.0))
+
+
+def io_cost_25d(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Per-processor I/O of the 2.5D decomposition.
+
+    With ``c`` layers each of ``p/c`` processors, a processor communicates the
+    SUMMA volume of its layer's ``k/c``-deep slice plus the reduction of its
+    ``C`` block across layers::
+
+        Q = k (m + n) / sqrt(p c) + m n c / p
+
+    Substituting ``c = pS/(k(m+n))`` recovers Table 3's
+    ``(k(m+n))^{3/2} / (p sqrt(S)) + mnS/(k(m+n))``.
+    """
+    c = replication_factor_25d(m, n, k, p, s)
+    return float(k) * (m + n) / math.sqrt(p * c) + float(m) * n * c / p
+
+
+def latency_cost_25d(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Latency of the 2.5D decomposition (Table 3)."""
+    c = replication_factor_25d(m, n, k, p, s)
+    steps = max(1.0, k / c / math.sqrt(max(1.0, p / c)))
+    return steps + 3.0 * math.log2(max(2.0, c))
+
+
+def io_cost_3d(m: int, n: int, k: int, p: int) -> float:
+    """Per-processor I/O of the 3D decomposition (``c = p^(1/3)``)."""
+    c = float(p) ** (1.0 / 3.0)
+    return float(k) * (m + n) / math.sqrt(p * c) + float(m) * n * c / p
+
+
+# ---------------------------------------------------------------------------
+# Recursive decomposition (CARMA)
+# ---------------------------------------------------------------------------
+def io_cost_carma(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Per-processor I/O of the recursive (CARMA) decomposition.
+
+    Table 3: ``2 min{ sqrt(3) mnk / (p sqrt(S)), (mnk/p)^(2/3) } + (mnk/p)^(2/3)``.
+    As with Theorem 2, the two branches correspond to the memory regimes: when
+    all three faces of the cubic local domain fit in memory
+    (``S >= 3 (mnk/p)^(2/3)``) the cost is ``3 (mnk/p)^(2/3)`` like COSMA's;
+    otherwise the recursive schedule streams through memory-sized tiles and
+    pays the ``sqrt(3)`` penalty of its cubic domains (section 6.2).
+    """
+    check_positive_int(p, "p")
+    check_positive_int(s, "S")
+    mnk = float(m) * n * k
+    cubic_face = (mnk / p) ** (2.0 / 3.0)
+    if s >= 3.0 * cubic_face:
+        return 3.0 * cubic_face
+    return 2.0 * math.sqrt(3.0) * mnk / (p * math.sqrt(s)) + cubic_face
+
+
+def latency_cost_carma(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Latency of the recursive decomposition (Table 3)."""
+    check_positive_int(p, "p")
+    mnk = float(m) * n * k
+    return (3.0 ** 1.5) * mnk / (p * s ** 1.5) + 3.0 * math.log2(max(2.0, p))
+
+
+# ---------------------------------------------------------------------------
+# COSMA (re-exported so every algorithm's cost lives in one namespace)
+# ---------------------------------------------------------------------------
+def io_cost_cosma(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Per-processor I/O of COSMA (the Theorem 2 optimum)."""
+    return cosma_io_cost(m, n, k, p, s)
+
+
+def latency_cost_cosma(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Latency of COSMA (Table 3)."""
+    return cosma_latency_cost(m, n, k, p, s)
+
+
+# ---------------------------------------------------------------------------
+# Historical algorithms for the Figure 2 "evolution" plot
+# ---------------------------------------------------------------------------
+def io_cost_naive_1d(m: int, n: int, k: int, p: int) -> float:
+    """A 1D (row-striped) decomposition: every processor needs all of B."""
+    check_positive_int(p, "p")
+    return float(k) * n + float(m) * k / p + float(m) * n / p
+
+
+def evolution_table(m: int, n: int, k: int, p: int, s: int) -> dict[str, float]:
+    """Worst-case per-processor I/O of the algorithm lineage shown in Figure 2."""
+    return {
+        "naive-1D": io_cost_naive_1d(m, n, k, p),
+        "Cannon-2D": io_cost_2d(m, n, k, p),
+        "PUMMA/SUMMA-2D": io_cost_2d(m, n, k, p),
+        "2.5D": io_cost_25d(m, n, k, p, s),
+        "CARMA-recursive": io_cost_carma(m, n, k, p, s),
+        "COSMA": io_cost_cosma(m, n, k, p, s),
+        "lower-bound": cosma_io_cost(m, n, k, p, s),
+    }

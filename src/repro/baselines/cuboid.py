@@ -1,0 +1,205 @@
+"""Generic executor for cuboidal domain decompositions.
+
+Several algorithms (CARMA's recursive splitting, explicit 3D grids, ablation
+experiments) boil down to: *assign every rank a cuboid of the iteration
+space, fetch the inputs its cuboid projects onto, multiply locally, and reduce
+overlapping output projections*.  This module runs any such assignment on the
+distributed machine simulator with honest communication accounting:
+
+* every element of A, B and C is *owned* by exactly one rank -- the
+  lowest-numbered rank whose cuboid projects onto it (so the initial layout
+  stores each matrix exactly once, co-located with a rank that needs it);
+* a rank receives the parts of its A / B projections it does not own from
+  their owners (counted, grouped into one message per (owner, receiver) pair);
+* every rank's partial C block is accumulated onto the owners of the
+  corresponding output elements (counted the same way).
+
+The per-rank *received* volume therefore equals the size of the rank's A and B
+projections minus what it already owns, plus its share of the C reduction --
+exactly the quantity the communication lower bounds reason about.  Cuboids may
+overlap partially in their projections (as happens for CARMA with
+non-power-of-two dimensions); the element-wise ownership handles that
+correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.counters import CommCounters
+from repro.machine.simulator import DistributedMachine
+
+Range = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CuboidDomain:
+    """The cuboid of multiplications assigned to one rank."""
+
+    rank: int
+    i_range: Range
+    j_range: Range
+    k_range: Range
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (
+            self.i_range[1] - self.i_range[0],
+            self.j_range[1] - self.j_range[0],
+            self.k_range[1] - self.k_range[0],
+        )
+
+    @property
+    def volume(self) -> int:
+        lm, ln, lk = self.shape
+        return lm * ln * lk
+
+
+@dataclass
+class CuboidRunResult:
+    """Outcome of a cuboid-decomposition run."""
+
+    matrix: np.ndarray
+    domains: tuple[CuboidDomain, ...]
+    counters: CommCounters
+
+    @property
+    def mean_words_per_rank(self) -> float:
+        return self.counters.mean_words_per_rank()
+
+
+def validate_domains(m: int, n: int, k: int, domains: list[CuboidDomain]) -> None:
+    """Check that the cuboids tile the full ``m x n x k`` iteration space.
+
+    The check is volumetric plus per-dimension bounds; together with
+    disjointness of the per-rank cuboids (guaranteed by every generator in
+    this library) this implies an exact tiling.
+    """
+    total = 0
+    for domain in domains:
+        for (lo, hi), extent in zip(
+            (domain.i_range, domain.j_range, domain.k_range), (m, n, k)
+        ):
+            if not (0 <= lo <= hi <= extent):
+                raise ValueError(f"domain {domain} exceeds the iteration space {m}x{n}x{k}")
+        total += domain.volume
+    if total != m * n * k:
+        raise ValueError(
+            f"domains cover {total} multiplications, expected {m * n * k}: "
+            "the decomposition does not tile the iteration space"
+        )
+
+
+def _ownership_map(shape: tuple[int, int], regions: list[tuple[int, Range, Range]]) -> np.ndarray:
+    """Element-owner map: the first listed rank whose region covers the element."""
+    owners = np.full(shape, -1, dtype=np.int64)
+    for rank, rows, cols in regions:
+        view = owners[rows[0] : rows[1], cols[0] : cols[1]]
+        view[view == -1] = rank
+    return owners
+
+
+def _fetch_block(
+    machine: DistributedMachine,
+    receiver: int,
+    rows: Range,
+    cols: Range,
+    owners: np.ndarray,
+    source: np.ndarray,
+    kind: str,
+) -> np.ndarray:
+    """Assemble the dense ``rows x cols`` block of ``source`` on ``receiver``.
+
+    Parts owned by other ranks are transferred (one message per owner) and
+    counted; parts owned by the receiver are free.
+    """
+    block = np.zeros((rows[1] - rows[0], cols[1] - cols[0]))
+    local_owners = owners[rows[0] : rows[1], cols[0] : cols[1]]
+    local_values = source[rows[0] : rows[1], cols[0] : cols[1]]
+    for owner in np.unique(local_owners):
+        mask = local_owners == owner
+        values = local_values[mask]
+        if owner == receiver:
+            block[mask] = values
+        else:
+            block[mask] = machine.send(int(owner), receiver, values, kind=kind)
+    return block
+
+
+def cuboid_multiply(
+    a_matrix: np.ndarray,
+    b_matrix: np.ndarray,
+    domains: list[CuboidDomain],
+    machine: DistributedMachine | None = None,
+    p: int | None = None,
+    memory_words: int | None = None,
+) -> CuboidRunResult:
+    """Run an arbitrary cuboidal decomposition on the simulator.
+
+    Parameters
+    ----------
+    a_matrix, b_matrix:
+        Global inputs.
+    domains:
+        One :class:`CuboidDomain` per participating rank; they must tile the
+        iteration space.
+    machine:
+        Optional pre-built simulator; built from ``p``/``memory_words``
+        otherwise (``p`` defaults to the number of domains).
+    """
+    a_matrix = np.asarray(a_matrix, dtype=np.float64)
+    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    m, k = a_matrix.shape
+    k2, n = b_matrix.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions do not match: {a_matrix.shape} x {b_matrix.shape}")
+    validate_domains(m, n, k, domains)
+    if machine is None:
+        p = p if p is not None else max(d.rank for d in domains) + 1
+        machine = DistributedMachine(p, memory_words=memory_words or (1 << 20))
+
+    ordered = sorted(domains, key=lambda d: d.rank)
+    a_owners = _ownership_map((m, k), [(d.rank, d.i_range, d.k_range) for d in ordered])
+    b_owners = _ownership_map((k, n), [(d.rank, d.k_range, d.j_range) for d in ordered])
+    c_owners = _ownership_map((m, n), [(d.rank, d.i_range, d.j_range) for d in ordered])
+
+    # ------------------------------------------------------------------
+    # input fetch + local multiplication
+    # ------------------------------------------------------------------
+    partial_c: dict[int, np.ndarray] = {}
+    for domain in ordered:
+        a_block = _fetch_block(
+            machine, domain.rank, domain.i_range, domain.k_range, a_owners, a_matrix, kind="input"
+        )
+        b_block = _fetch_block(
+            machine, domain.rank, domain.k_range, domain.j_range, b_owners, b_matrix, kind="input"
+        )
+        machine.rank(domain.rank).put("A", a_block)
+        machine.rank(domain.rank).put("B", b_block)
+        product = machine.local_multiply(domain.rank, a_block, b_block)
+        partial_c[domain.rank] = product
+        machine.rank(domain.rank).put("C_partial", product)
+
+    # ------------------------------------------------------------------
+    # reduce partial C blocks onto the element owners and assemble the result
+    # ------------------------------------------------------------------
+    c_global = np.zeros((m, n))
+    for domain in ordered:
+        i0, i1 = domain.i_range
+        j0, j1 = domain.j_range
+        block = partial_c[domain.rank]
+        local_owners = c_owners[i0:i1, j0:j1]
+        for owner in np.unique(local_owners):
+            mask = local_owners == owner
+            values = block[mask]
+            if owner != domain.rank:
+                values = machine.send(domain.rank, int(owner), values, kind="output")
+                machine.rank(int(owner)).counters.flops += int(values.size)
+            target = c_global[i0:i1, j0:j1]
+            target[mask] += values
+            c_global[i0:i1, j0:j1] = target
+
+    machine.check_memory()
+    return CuboidRunResult(matrix=c_global, domains=tuple(domains), counters=machine.counters)

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing any Python::
+
+    python -m repro multiply --m 256 --n 320 --k 192 --processors 16 --memory 16384
+    python -m repro compare  --family square --regime limited --processors 4 16 36
+    python -m repro bounds   --m 4096 --n 4096 --k 4096 --processors 512 --memory 65536
+    python -m repro grid     --m 4096 --n 4096 --k 4096 --processors 65
+    python -m repro sequential --size 32 --memory 64 128 256
+
+Each subcommand prints a plain-text report; exit code 0 means every executed
+multiplication verified against numpy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.api import lower_bound_parallel, lower_bound_sequential, multiply
+from repro.baselines.costs import io_cost_25d, io_cost_2d, io_cost_carma, io_cost_cosma
+from repro.core.grid import fit_ranks
+from repro.experiments.harness import DEFAULT_ALGORITHMS, sweep
+from repro.experiments.perf_model import simulated_time
+from repro.experiments.report import format_table, group_by_scenario
+from repro.machine.topology import MachineSpec
+from repro.pebbling.mmm_bounds import near_optimal_sequential_io
+from repro.sequential import tiled_multiply
+from repro.workloads.scaling import extra_memory_sweep, limited_memory_sweep, strong_scaling_sweep
+from repro.workloads.shapes import square_shape
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COSMA reproduction: communication-optimal matrix multiplication on a simulated machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_mult = sub.add_parser("multiply", help="run COSMA on random matrices and report its communication")
+    p_mult.add_argument("--m", type=int, default=256)
+    p_mult.add_argument("--n", type=int, default=256)
+    p_mult.add_argument("--k", type=int, default=256)
+    p_mult.add_argument("--processors", type=int, default=16)
+    p_mult.add_argument("--memory", type=int, default=16384, help="words of local memory per processor")
+    p_mult.add_argument("--seed", type=int, default=0)
+
+    p_cmp = sub.add_parser("compare", help="compare COSMA against the baselines on a scenario sweep")
+    p_cmp.add_argument("--family", choices=["square", "largeK", "largeM", "flat"], default="square")
+    p_cmp.add_argument("--regime", choices=["strong", "limited", "extra"], default="limited")
+    p_cmp.add_argument("--processors", type=int, nargs="+", default=[4, 16, 36])
+    p_cmp.add_argument("--memory", type=int, default=2048)
+    p_cmp.add_argument("--algorithms", nargs="+", default=list(DEFAULT_ALGORITHMS))
+
+    p_bounds = sub.add_parser("bounds", help="print the analytic lower bounds and per-algorithm costs")
+    p_bounds.add_argument("--m", type=int, required=True)
+    p_bounds.add_argument("--n", type=int, required=True)
+    p_bounds.add_argument("--k", type=int, required=True)
+    p_bounds.add_argument("--processors", type=int, required=True)
+    p_bounds.add_argument("--memory", type=int, required=True)
+
+    p_grid = sub.add_parser("grid", help="show the processor grid COSMA would fit (FitRanks)")
+    p_grid.add_argument("--m", type=int, required=True)
+    p_grid.add_argument("--n", type=int, required=True)
+    p_grid.add_argument("--k", type=int, required=True)
+    p_grid.add_argument("--processors", type=int, required=True)
+    p_grid.add_argument("--memory", type=int, default=None)
+    p_grid.add_argument("--max-idle", type=float, default=0.03)
+
+    p_seq = sub.add_parser("sequential", help="measure sequential I/O of the tiled kernel vs the bound")
+    p_seq.add_argument("--size", type=int, default=32, help="m = n = k")
+    p_seq.add_argument("--memory", type=int, nargs="+", default=[64, 128, 256])
+    p_seq.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_multiply(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((args.m, args.k))
+    b = rng.standard_normal((args.k, args.n))
+    result = multiply(a, b, processors=args.processors, memory_words=args.memory)
+    correct = bool(np.allclose(result.matrix, a @ b))
+    print(f"problem              : C({args.m}x{args.n}) = A({args.m}x{args.k}) B({args.k}x{args.n})")
+    print(f"processor grid       : {result.grid} ({result.processors_used}/{args.processors} used)")
+    print(f"rounds               : {result.rounds}")
+    print(f"words received/rank  : {result.mean_received_per_rank:,.0f}")
+    print(f"Theorem 2 bound      : {result.lower_bound_per_rank:,.0f}")
+    print(f"verified against numpy: {'OK' if correct else 'MISMATCH'}")
+    return 0 if correct else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.regime == "strong":
+        scenarios = strong_scaling_sweep(square_shape(96), args.processors, memory_words=8 * args.memory)
+    elif args.regime == "limited":
+        scenarios = limited_memory_sweep(args.family, args.processors, args.memory)
+    else:
+        scenarios = extra_memory_sweep(args.family, args.processors, args.memory)
+    runs = sweep(scenarios, algorithms=args.algorithms, seed=0)
+    spec = MachineSpec(name="bandwidth-bound", network_latency_s=0.0)
+    grouped = group_by_scenario(runs)
+    headers = ["p", "m", "n", "k"] + [f"{a} words/rank" for a in args.algorithms] + ["fastest (simulated)"]
+    rows = []
+    all_correct = all(run.correct for run in runs)
+    for name in sorted(grouped, key=lambda s: int(s.rsplit("p", 1)[-1])):
+        by_algo = grouped[name]
+        shape = next(iter(by_algo.values())).scenario.shape
+        row = [next(iter(by_algo.values())).scenario.p, shape.m, shape.n, shape.k]
+        for algo in args.algorithms:
+            row.append(round(by_algo[algo].mean_received_per_rank))
+        fastest = min(by_algo, key=lambda algo: simulated_time(by_algo[algo], spec, overlap=True))
+        row.append(fastest)
+        rows.append(row)
+    print(format_table(headers, rows))
+    print(f"\nall runs verified against numpy: {'OK' if all_correct else 'MISMATCH'}")
+    return 0 if all_correct else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    m, n, k, p, s = args.m, args.n, args.k, args.processors, args.memory
+    rows = [
+        ["sequential lower bound (Theorem 1)", lower_bound_sequential(m, n, k, s)],
+        ["sequential feasible schedule", near_optimal_sequential_io(m, n, k, s)],
+        ["parallel lower bound / COSMA (Theorem 2)", lower_bound_parallel(m, n, k, p, s)],
+        ["2D (ScaLAPACK) cost", io_cost_2d(m, n, k, p)],
+        ["2.5D (CTF) cost", io_cost_25d(m, n, k, p, s)],
+        ["recursive (CARMA) cost", io_cost_carma(m, n, k, p, s)],
+        ["COSMA cost", io_cost_cosma(m, n, k, p, s)],
+    ]
+    print(format_table(["quantity", "words per processor"], rows))
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    fit = fit_ranks(
+        args.m, args.n, args.k, args.processors,
+        max_idle_fraction=args.max_idle, memory_words=args.memory,
+    )
+    print(f"fitted grid            : {fit.grid.as_tuple()}")
+    print(f"ranks used / available : {fit.grid.p_used} / {args.processors} ({fit.idle_ranks} idle)")
+    print(f"words received per rank: {fit.communication_per_rank:,.0f}")
+    print(f"multiplications per rank: {fit.computation_per_rank:,}")
+    return 0
+
+
+def _cmd_sequential(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    n = args.size
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    rows = []
+    ok = True
+    for s in args.memory:
+        run = tiled_multiply(a, b, memory_words=s)
+        ok = ok and bool(np.allclose(run.matrix, a @ b))
+        bound = lower_bound_sequential(n, n, n, s)
+        rows.append([s, f"{run.schedule.a}x{run.schedule.b}", round(bound), run.io, round(run.io / bound, 3)])
+    print(format_table(["S", "tile", "lower bound", "measured I/O", "ratio"], rows))
+    print(f"\nnumerics verified: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+_COMMANDS = {
+    "multiply": _cmd_multiply,
+    "compare": _cmd_compare,
+    "bounds": _cmd_bounds,
+    "grid": _cmd_grid,
+    "sequential": _cmd_sequential,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

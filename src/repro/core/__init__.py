@@ -1,0 +1,40 @@
+"""COSMA: the paper's primary contribution.
+
+The pipeline mirrors Algorithm 1:
+
+1. :func:`repro.core.schedule.find_sequential_schedule` derives the optimal
+   local-domain width ``a`` from the sequential I/O analysis (section 5).
+2. :func:`repro.core.schedule.parallelize_schedule` derives the local-domain
+   depth ``b`` subject to load balance (section 6.3, Equation 32).
+3. :func:`repro.core.grid.fit_ranks` fits a processor grid to the matrix
+   dimensions, optionally leaving up to ``delta`` of the processors idle when
+   that reduces communication (section 7.1).
+4. :func:`repro.core.decomposition.build_decomposition` assigns local domains
+   and the blocked data layout (section 7.6).
+5. :func:`repro.core.cosma.cosma_multiply` executes the schedule on the
+   distributed machine simulator, counting every communicated word.
+
+The analytic counterparts (Theorem 2 costs, I/O-latency trade-off, buffer
+sizing) live in :mod:`repro.core.cost_model`, :mod:`repro.core.tradeoff` and
+:mod:`repro.core.buffers`.
+"""
+
+from repro.core.cosma import CosmaRunResult, cosma_multiply
+from repro.core.cost_model import cosma_io_cost, cosma_latency_cost
+from repro.core.decomposition import CosmaDecomposition, build_decomposition
+from repro.core.grid import ProcessorGrid, fit_ranks
+from repro.core.schedule import find_sequential_schedule, optimal_local_domain, parallelize_schedule
+
+__all__ = [
+    "cosma_multiply",
+    "CosmaRunResult",
+    "cosma_io_cost",
+    "cosma_latency_cost",
+    "build_decomposition",
+    "CosmaDecomposition",
+    "ProcessorGrid",
+    "fit_ranks",
+    "find_sequential_schedule",
+    "parallelize_schedule",
+    "optimal_local_domain",
+]

@@ -1,0 +1,249 @@
+"""The COSMA distributed executor (Algorithm 1 on the machine simulator).
+
+Execution outline for a fitted grid ``[pm x pn x pk]``:
+
+1. every used rank starts with its owned slices of A and B
+   (:func:`repro.core.decomposition.distribute_matrices`);
+2. the local ``k`` extent is processed in ``t`` communication rounds of
+   ``step_size`` outer products each (Algorithm 1, lines 8-11): in every round
+   the pieces of the A panel for the round's k-chunk are broadcast along the
+   ``j`` fiber and the pieces of the B panel along the ``i`` fiber, after
+   which each rank multiplies the received panels into its ``lm x ln``
+   accumulator;
+3. the accumulators are reduced along the ``k`` fiber onto the C owners
+   (Algorithm 1, line 12).
+
+Every transferred word is counted by the machine's communication layer; the
+returned :class:`CosmaRunResult` exposes the counters, the assembled global
+product and the per-round volumes needed by the overlap performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.decomposition import CosmaDecomposition, build_decomposition, distribute_matrices
+from repro.core.grid import ProcessorGrid
+from repro.machine.collectives import broadcast, reduce
+from repro.machine.counters import CommCounters
+from repro.machine.rma import rma_get
+from repro.machine.simulator import DistributedMachine
+
+
+@dataclass
+class CosmaRunResult:
+    """Outcome of a COSMA run on the simulator."""
+
+    matrix: np.ndarray
+    decomposition: CosmaDecomposition
+    counters: CommCounters
+    num_rounds: int
+    #: Per-round maximum words received by any rank (drives the overlap model).
+    round_volumes: list[int] = field(default_factory=list)
+    peak_resident_words: int = 0
+
+    @property
+    def grid(self) -> ProcessorGrid:
+        return self.decomposition.grid
+
+    @property
+    def mean_words_per_rank(self) -> float:
+        return self.counters.mean_words_per_rank()
+
+    @property
+    def max_words_per_rank(self) -> int:
+        return self.counters.max_words_per_rank()
+
+
+def cosma_multiply(
+    a_matrix: np.ndarray,
+    b_matrix: np.ndarray,
+    p: int,
+    memory_words: int,
+    machine: DistributedMachine | None = None,
+    max_idle_fraction: float = 0.03,
+    grid: ProcessorGrid | None = None,
+    use_rma: bool = False,
+) -> CosmaRunResult:
+    """Multiply ``A @ B`` with COSMA on a simulated ``p``-processor machine.
+
+    Parameters
+    ----------
+    a_matrix, b_matrix:
+        Global input matrices (``m x k`` and ``k x n``).
+    p:
+        Number of processors.
+    memory_words:
+        Local memory ``S`` per processor, in words.
+    machine:
+        Optional pre-built simulator (its counters are *not* reset); a fresh
+        one is created by default.
+    max_idle_fraction:
+        ``delta`` for the grid-fitting step.
+    grid:
+        Optional explicit grid override (ablation experiments).
+    use_rma:
+        Use one-sided gets for the panel exchange instead of broadcast trees
+        (section 7.4); the volume is identical, the round accounting differs.
+    """
+    a_matrix = np.asarray(a_matrix, dtype=np.float64)
+    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    m, k = a_matrix.shape
+    k2, n = b_matrix.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions do not match: {a_matrix.shape} x {b_matrix.shape}")
+
+    decomposition = build_decomposition(
+        m, n, k, p, memory_words, max_idle_fraction=max_idle_fraction, grid=grid
+    )
+    if machine is None:
+        machine = DistributedMachine(p, memory_words=memory_words)
+    owned = distribute_matrices(decomposition, a_matrix, b_matrix)
+    for rank, pieces in owned.items():
+        machine.rank(rank).put("A_own", pieces["A"])
+        machine.rank(rank).put("B_own", pieces["B"])
+
+    gridspec = decomposition.grid
+    # Per-rank accumulators for the local C block.
+    for domain in decomposition.domains:
+        lm = domain.i_range[1] - domain.i_range[0]
+        ln = domain.j_range[1] - domain.j_range[0]
+        machine.rank(domain.rank).put("C_acc", np.zeros((lm, ln)))
+
+    domains_by_rank = {d.rank: d for d in decomposition.domains}
+    round_volumes: list[int] = []
+    num_rounds = 0
+
+    # ------------------------------------------------------------------
+    # main loop: process each k-fiber's local k extent in steps
+    # ------------------------------------------------------------------
+    # All ranks share the same number of steps because the k extents are
+    # nearly equal; iterate over the global maximum.
+    max_lk = max(d.k_range[1] - d.k_range[0] for d in decomposition.domains)
+    step = decomposition.step_size
+    offsets = list(range(0, max_lk, step))
+    for chunk_index, chunk_offset in enumerate(offsets):
+        before = machine.counters.snapshot()
+
+        def chunk_bounds(domain):
+            k0, k1 = domain.k_range
+            c0 = min(k0 + chunk_offset, k1)
+            c1 = min(c0 + step, k1)
+            return c0, c1
+
+        # --- exchange the A panel chunks along every j fiber (tree broadcast, §7.2) ---
+        a_chunks: dict[int, np.ndarray] = {}
+        for pi in range(gridspec.pm):
+            for pk in range(gridspec.pk):
+                fiber = decomposition.j_fiber(pi, pk)
+                sample = domains_by_rank[fiber[0]]
+                c0, c1 = chunk_bounds(sample)
+                if c0 >= c1:
+                    continue
+                lm = sample.i_range[1] - sample.i_range[0]
+                for r in fiber:
+                    a_chunks[r] = np.zeros((lm, c1 - c0))
+                for owner_rank in fiber:
+                    owner = domains_by_rank[owner_rank]
+                    o0, o1 = owner.a_owned_k_range
+                    lo, hi = max(o0, c0), min(o1, c1)
+                    if lo >= hi:
+                        continue
+                    piece = machine.rank(owner_rank).get("A_own")[:, lo - o0 : hi - o0]
+                    if use_rma:
+                        for r in fiber:
+                            delivered = (
+                                piece.copy()
+                                if r == owner_rank
+                                else rma_get(machine, r, owner_rank, piece)
+                            )
+                            a_chunks[r][:, lo - c0 : hi - c0] = delivered
+                    else:
+                        received = broadcast(machine, owner_rank, fiber, piece, kind="input")
+                        for r in fiber:
+                            a_chunks[r][:, lo - c0 : hi - c0] = received[r]
+
+        # --- exchange the B panel chunks along every i fiber ---
+        b_chunks: dict[int, np.ndarray] = {}
+        for pj in range(gridspec.pn):
+            for pk in range(gridspec.pk):
+                fiber = decomposition.i_fiber(pj, pk)
+                sample = domains_by_rank[fiber[0]]
+                c0, c1 = chunk_bounds(sample)
+                if c0 >= c1:
+                    continue
+                ln = sample.j_range[1] - sample.j_range[0]
+                for r in fiber:
+                    b_chunks[r] = np.zeros((c1 - c0, ln))
+                for owner_rank in fiber:
+                    owner = domains_by_rank[owner_rank]
+                    o0, o1 = owner.b_owned_k_range
+                    lo, hi = max(o0, c0), min(o1, c1)
+                    if lo >= hi:
+                        continue
+                    piece = machine.rank(owner_rank).get("B_own")[lo - o0 : hi - o0, :]
+                    if use_rma:
+                        for r in fiber:
+                            delivered = (
+                                piece.copy()
+                                if r == owner_rank
+                                else rma_get(machine, r, owner_rank, piece)
+                            )
+                            b_chunks[r][lo - c0 : hi - c0, :] = delivered
+                    else:
+                        received = broadcast(machine, owner_rank, fiber, piece, kind="input")
+                        for r in fiber:
+                            b_chunks[r][lo - c0 : hi - c0, :] = received[r]
+
+        # --- local multiply-accumulate on every rank that has work this round ---
+        for domain in decomposition.domains:
+            rank = domain.rank
+            if rank not in a_chunks or rank not in b_chunks:
+                continue
+            machine.local_multiply(
+                rank, a_chunks[rank], b_chunks[rank], accumulate_into=machine.rank(rank).get("C_acc")
+            )
+
+        num_rounds += 1
+        after = machine.counters
+        delta = max(
+            after.per_rank[r].total_words - before.per_rank[r].total_words
+            for r in range(machine.p)
+        )
+        round_volumes.append(int(delta))
+        machine.check_memory()
+        machine.log_round(f"cosma-step-{chunk_index}")
+
+    # ------------------------------------------------------------------
+    # reduce the partial C blocks along the k fibers onto the owners
+    # ------------------------------------------------------------------
+    c_global = np.zeros((m, n))
+    for pi in range(gridspec.pm):
+        for pj in range(gridspec.pn):
+            fiber = decomposition.k_fiber(pi, pj)
+            owner = decomposition.coords_to_rank(pi, pj, 0)
+            blocks = {r: machine.rank(r).get("C_acc") for r in fiber}
+            if len(fiber) > 1:
+                total = reduce(machine, owner, fiber, blocks, kind="output")
+            else:
+                total = blocks[owner]
+            machine.rank(owner).put("C_final", total)
+            domain = domains_by_rank[owner]
+            i0, i1 = domain.i_range
+            j0, j1 = domain.j_range
+            c_global[i0:i1, j0:j1] = total
+
+    machine.check_memory()
+    return CosmaRunResult(
+        matrix=c_global,
+        decomposition=decomposition,
+        counters=machine.counters,
+        num_rounds=num_rounds,
+        round_volumes=round_volumes,
+        peak_resident_words=machine.peak_resident_words,
+    )
+
+
+__all__ = ["cosma_multiply", "CosmaRunResult", "broadcast"]

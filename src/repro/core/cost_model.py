@@ -1,0 +1,94 @@
+"""Analytic COSMA cost model (Theorem 2 and the COSMA column of Table 3).
+
+These closed-form costs are used by the Table 3 / Figure 2 benchmarks and by
+tests that compare the simulator's measured volumes against the theory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.pebbling.mmm_bounds import parallel_io_lower_bound
+from repro.utils.validation import check_positive_int
+
+
+def cosma_io_cost(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Per-processor I/O of the optimal COSMA schedule.
+
+    ``Q = min{ 2mnk / (p sqrt(S)) + S, 3 (mnk/p)^(2/3) }`` -- COSMA attains the
+    Theorem 2 lower bound, so its analytic cost *is* the bound.
+    """
+    return parallel_io_lower_bound(m, n, k, p, s)
+
+
+def cosma_local_domain(m: int, n: int, k: int, p: int, s: int) -> tuple[float, float]:
+    """The optimal real-valued local-domain sizes ``(a, b)`` of Equation 32."""
+    check_positive_int(p, "p")
+    check_positive_int(s, "S")
+    mnk = float(m) * n * k
+    a = min(math.sqrt(s), (mnk / p) ** (1.0 / 3.0))
+    b = max(mnk / (p * s), (mnk / p) ** (1.0 / 3.0))
+    return a, b
+
+
+def cosma_latency_cost(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Latency (number of communication rounds) of the I/O-minimal COSMA schedule.
+
+    Table 3: ``L = ceil(2ab / (S - a^2)) * log2(mn / a^2)`` rounds, where the
+    logarithmic factor accounts for the broadcast/reduction trees; when the
+    local domain's inputs fit in memory at once (extra-memory regime) the
+    number of steps collapses to 1.
+    """
+    a, b = cosma_local_domain(m, n, k, p, s)
+    # Shrink a to the feasible width so at least one streamed panel fits
+    # alongside the accumulator (as in the feasible sequential schedule).
+    a = min(a, math.sqrt(s + 1.0) - 1.0)
+    free = max(2.0 * a, s - a * a)
+    if 2 * a * b <= free:
+        steps = 1.0
+    else:
+        steps = math.ceil(2.0 * a * b / free)
+    tree_depth = max(1.0, math.log2(max(2.0, float(m) * n / (a * a))))
+    return steps * tree_depth
+
+
+def cosma_memory_per_rank(m: int, n: int, k: int, p: int, s: int) -> float:
+    """Words of local memory the optimal schedule actually uses (``<= S``).
+
+    At the limited-memory boundary ``a = sqrt(S)`` leaves no room for the
+    streamed panels, so the effective width is shrunk to
+    ``sqrt(S + 1) - 1`` exactly as in the feasible sequential schedule
+    (section 5.2.7).
+    """
+    a, b = cosma_local_domain(m, n, k, p, s)
+    a = min(a, math.sqrt(s + 1.0) - 1.0)
+    free = s - a * a
+    step = min(b, max(1.0, free / (2.0 * a)))
+    return a * a + 2.0 * a * step
+
+
+def communication_reduction_vs_grid(
+    m: int, n: int, k: int, p: int, s: int, grid: tuple[int, int, int]
+) -> float:
+    """Ratio (other grid volume) / (COSMA volume) for a fixed cuboidal grid.
+
+    Used for the Figure 3 experiment: a top-down ``p^(1/3)`` cubic
+    decomposition, chosen without regard to the memory size, communicates more
+    than COSMA's bottom-up decomposition whenever the cubic local output block
+    does not fit in fast memory (the paper's illustration reports a 17%
+    reduction for its example).  When the other grid's output block does not
+    fit in ``S`` words, it must process its domain in memory-sized output
+    tiles and re-fetch the remote input panels for each tile, which is what
+    the degraded cost below charges.
+    """
+    pm, pn, pk = grid
+    if pm * pn * pk > p:
+        raise ValueError(f"grid {grid} uses more than p={p} processors")
+    lm, ln, lk = m / pm, n / pn, k / pk
+    if lm * ln > s:
+        other_inputs = 2.0 * lm * ln * lk / math.sqrt(s)
+    else:
+        other_inputs = lm * lk + ln * lk
+    other = other_inputs + (lm * ln if pk > 1 else 0.0)
+    ours = cosma_io_cost(m, n, k, p, s)
+    return other / ours

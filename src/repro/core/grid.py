@@ -1,0 +1,184 @@
+"""Processor-grid fitting (``FitRanks``, section 7.1).
+
+Matrix dimensions rarely divide evenly by the ideal local-domain sizes, and
+the available processor count rarely factors into a matching grid.  COSMA
+therefore searches over grids that use *at most* ``p`` processors -- allowing
+up to a fraction ``delta`` of them to stay idle -- and picks the grid with the
+smallest per-rank communication volume.  Figure 5 of the paper shows the
+flagship example: with 65 ranks and square matrices, dropping a single rank
+enables a ``4 x 4 x 4`` grid that communicates ~36% less than the best
+65-rank grid, at the price of 1.5% more computation per rank.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.intmath import all_factorizations_3d, ceil_div
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """A 3-D processor grid ``[pm x pn x pk]`` over the ``(i, j, k)`` iteration space."""
+
+    pm: int
+    pn: int
+    pk: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.pm, "pm")
+        check_positive_int(self.pn, "pn")
+        check_positive_int(self.pk, "pk")
+
+    @property
+    def p_used(self) -> int:
+        """Number of ranks the grid actually uses."""
+        return self.pm * self.pn * self.pk
+
+    def local_extents(self, m: int, n: int, k: int) -> tuple[int, int, int]:
+        """Per-rank local domain extents (rounded up for the boundary ranks)."""
+        return (ceil_div(m, self.pm), ceil_div(n, self.pn), ceil_div(k, self.pk))
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.pm, self.pn, self.pk)
+
+    def __iter__(self):
+        return iter((self.pm, self.pn, self.pk))
+
+
+def communication_volume_per_rank(
+    grid: ProcessorGrid, m: int, n: int, k: int, memory_words: int | None = None
+) -> float:
+    """Words a rank *receives* during a COSMA run on this grid.
+
+    A rank with local extents ``(lm, ln, lk)`` needs the ``lm x lk`` block of A
+    and the ``lk x ln`` block of B; of these it initially owns ``1/pn`` and
+    ``1/pm`` respectively (the blocked layout splits each panel across the
+    ranks that will broadcast it).  When the grid is parallelized along ``k``
+    (``pk > 1``) the ``lm x ln`` partial results must additionally be reduced.
+    This is the discrete counterpart of ``Q = 2ab + a^2`` from section 6.3.
+
+    When ``memory_words`` is given and the ``lm x ln`` output block does not
+    fit in it, the rank cannot keep its accumulator resident: it must process
+    the domain in output tiles of at most ``S`` words and re-fetch the remote
+    panels for each tile, so the input traffic degrades to the sequential-style
+    ``2 lm ln lk / sqrt(S)`` (the I/O constraint ``a^2 <= S`` of section 6.3).
+    """
+    lm, ln, lk = grid.local_extents(m, n, k)
+    if memory_words is not None and lm * ln > memory_words:
+        volume_inputs = 2.0 * lm * ln * lk / math.sqrt(memory_words)
+    else:
+        volume_a = lm * lk * (grid.pn - 1) / grid.pn
+        volume_b = ln * lk * (grid.pm - 1) / grid.pm
+        volume_inputs = volume_a + volume_b
+    volume_c = lm * ln * (grid.pk - 1) / grid.pk if grid.pk > 1 else 0.0
+    return volume_inputs + volume_c
+
+
+def computation_per_rank(grid: ProcessorGrid, m: int, n: int, k: int) -> int:
+    """Multiplications assigned to the busiest rank of the grid."""
+    lm, ln, lk = grid.local_extents(m, n, k)
+    return lm * ln * lk
+
+
+def candidate_grids(p_used: int, m: int, n: int, k: int) -> list[ProcessorGrid]:
+    """All grids using exactly ``p_used`` ranks, with no dimension exceeding its extent."""
+    grids = []
+    for pm, pn, pk in all_factorizations_3d(p_used):
+        if pm <= m and pn <= n and pk <= k:
+            grids.append(ProcessorGrid(pm, pn, pk))
+    return grids
+
+
+@dataclass(frozen=True)
+class GridFit:
+    """Result of :func:`fit_ranks`."""
+
+    grid: ProcessorGrid
+    p_available: int
+    communication_per_rank: float
+    computation_per_rank: int
+
+    @property
+    def idle_ranks(self) -> int:
+        return self.p_available - self.grid.p_used
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.idle_ranks / self.p_available
+
+
+def fit_ranks(
+    m: int,
+    n: int,
+    k: int,
+    p: int,
+    max_idle_fraction: float = 0.03,
+    memory_words: int | None = None,
+) -> GridFit:
+    """``FitRanks`` (Algorithm 1, line 3): choose the best processor grid.
+
+    Enumerates every processor count ``p_used`` in
+    ``[ceil(p * (1 - max_idle_fraction)), p]`` and every 3-D factorization of
+    each, and returns the grid minimizing the per-rank communication volume.
+    Ties are broken in favour of (1) more ranks used (less computation per
+    rank) and (2) a more balanced grid.
+
+    Parameters
+    ----------
+    m, n, k:
+        Matrix dimensions.
+    p:
+        Available processors.
+    max_idle_fraction:
+        The tunable parameter ``delta``: the largest fraction of processors
+        the optimizer may leave idle (3% in the paper's Piz Daint runs).
+    memory_words:
+        Per-rank memory ``S``; when given, grids whose local output block does
+        not fit are charged the degraded (re-fetching) communication cost.
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    p = check_positive_int(p, "p")
+    max_idle_fraction = check_probability(max_idle_fraction, "max_idle_fraction")
+
+    min_p_used = max(1, int(math.ceil(p * (1.0 - max_idle_fraction))))
+    best: GridFit | None = None
+    for p_used in range(p, min_p_used - 1, -1):
+        for grid in candidate_grids(p_used, m, n, k):
+            comm = communication_volume_per_rank(grid, m, n, k, memory_words=memory_words)
+            comp = computation_per_rank(grid, m, n, k)
+            fit = GridFit(
+                grid=grid,
+                p_available=p,
+                communication_per_rank=comm,
+                computation_per_rank=comp,
+            )
+            if best is None or _better(fit, best):
+                best = fit
+    if best is None:
+        # Every candidate grid was rejected (e.g. p larger than every matrix
+        # extent); fall back to a single rank, which is always feasible.
+        grid = ProcessorGrid(1, 1, 1)
+        best = GridFit(
+            grid=grid,
+            p_available=p,
+            communication_per_rank=communication_volume_per_rank(grid, m, n, k),
+            computation_per_rank=computation_per_rank(grid, m, n, k),
+        )
+    return best
+
+
+def _better(candidate: GridFit, incumbent: GridFit) -> bool:
+    """Ordering used by :func:`fit_ranks` (lower communication first)."""
+    if not math.isclose(candidate.communication_per_rank, incumbent.communication_per_rank, rel_tol=1e-9):
+        return candidate.communication_per_rank < incumbent.communication_per_rank
+    if candidate.computation_per_rank != incumbent.computation_per_rank:
+        return candidate.computation_per_rank < incumbent.computation_per_rank
+    # Prefer more balanced grids (smaller max dimension).
+    cand_spread = max(candidate.grid.as_tuple()) - min(candidate.grid.as_tuple())
+    inc_spread = max(incumbent.grid.as_tuple()) - min(incumbent.grid.as_tuple())
+    return cand_spread < inc_spread

@@ -1,0 +1,100 @@
+"""Optimal sequential and parallel COSMA schedules (sections 5 and 6.3).
+
+The near I/O optimal *sequential* schedule processes the MMM iteration space
+in ``a x a`` output tiles swept along ``k``; parallelizing it assigns each of
+the ``p`` processors a local domain of ``a x a x b`` multiplications where
+(Equation 32)::
+
+    a = min( sqrt(S), (mnk / p)^(1/3) )
+    b = max( mnk / (p S), (mnk / p)^(1/3) )
+
+The first branch is the "limited memory" regime (the ``a^2 <= S`` constraint
+binds, the local domain is a tall slab); the second the "extra memory" regime
+(the local domain is cubic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int
+
+
+def find_sequential_schedule(s: int, m: int, n: int, k: int, p: int) -> float:
+    """``FindSeqSchedule`` (Algorithm 1, line 1): the local-domain width ``a``.
+
+    Returns the real-valued optimum; the grid-fitting step later rounds it to
+    integer block sizes.
+    """
+    s = check_positive_int(s, "S")
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    p = check_positive_int(p, "p")
+    return min(math.sqrt(s), (float(m) * n * k / p) ** (1.0 / 3.0))
+
+
+def parallelize_schedule(a: float, m: int, n: int, k: int, p: int, s: int) -> float:
+    """``ParallelizeSched`` (Algorithm 1, line 2): the local-domain depth ``b``."""
+    if a <= 0:
+        raise ValueError(f"a must be positive, got {a}")
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    p = check_positive_int(p, "p")
+    s = check_positive_int(s, "S")
+    return max(float(m) * n * k / (p * s), (float(m) * n * k / p) ** (1.0 / 3.0))
+
+
+@dataclass(frozen=True)
+class LocalDomainShape:
+    """The real-valued optimal local domain ``[a x a x b]`` and its step structure."""
+
+    a: float
+    b: float
+    s: int
+    #: Number of outer products communicated per round (latency-minimizing step
+    #: size, Algorithm 1 line 6): ``floor((S - a^2) / (2a))``.
+    step_size: int
+    #: Number of communication rounds ``t = ceil(b / step)`` (Algorithm 1 line 7).
+    num_steps: int
+
+    @property
+    def domain_volume(self) -> float:
+        """Number of multiplications per processor ``a^2 b`` (load balance)."""
+        return self.a * self.a * self.b
+
+    @property
+    def io_per_processor(self) -> float:
+        """Per-processor communication ``2ab + a^2`` induced by the domain shape."""
+        return 2.0 * self.a * self.b + self.a * self.a
+
+
+def optimal_local_domain(m: int, n: int, k: int, p: int, s: int) -> LocalDomainShape:
+    """Solve Equation 32 and derive the latency-minimizing step structure.
+
+    Raises ``ValueError`` when the aggregate memory cannot hold the three
+    matrices (the analysis requires ``p S >= mn + mk + nk``).
+    """
+    s = check_positive_int(s, "S")
+    p = check_positive_int(p, "p")
+    footprint = float(m) * n + float(m) * k + float(n) * k
+    if p * s < footprint:
+        raise ValueError(
+            f"aggregate memory p*S = {p * s} is smaller than the matrices' footprint "
+            f"mn + mk + nk = {footprint:.0f}"
+        )
+    a = find_sequential_schedule(s, m, n, k, p)
+    b = parallelize_schedule(a, m, n, k, p, s)
+    # Latency-minimizing communication step (Algorithm 1, line 6).  With a
+    # cubic local domain (extra memory) the inputs of the whole domain fit at
+    # once and a single step suffices.
+    a_int = max(1, int(math.floor(a)))
+    free_words = s - a_int * a_int
+    if free_words >= 2 * a_int * math.ceil(b):
+        step = int(math.ceil(b))
+    else:
+        step = max(1, free_words // (2 * a_int))
+    num_steps = max(1, int(math.ceil(b / step)))
+    return LocalDomainShape(a=a, b=b, s=s, step_size=step, num_steps=num_steps)

@@ -1,0 +1,170 @@
+"""Benchmark harness: run any algorithm on any scenario and collect metrics.
+
+The harness plays the role of the paper's job scripts + mpiP profiling: it
+builds a fresh :class:`~repro.machine.simulator.DistributedMachine` for every
+(algorithm, scenario) pair, generates the input matrices, runs the algorithm,
+verifies the numerical result against ``A @ B`` and records the communication
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.baselines.cannon import cannon_multiply
+from repro.baselines.carma import carma_multiply
+from repro.baselines.grid25d import grid25d_multiply
+from repro.baselines.summa import summa_multiply
+from repro.core.cosma import cosma_multiply
+from repro.machine.simulator import DistributedMachine
+from repro.workloads.scaling import Scenario
+
+
+@dataclass
+class AlgorithmRun:
+    """Metrics of one algorithm execution on one scenario."""
+
+    algorithm: str
+    scenario: Scenario
+    correct: bool
+    #: Average words moved (sent + received) per rank -- Table 4's metric.
+    mean_words_per_rank: float
+    #: Average words *received* per rank -- the quantity the I/O theory bounds.
+    mean_received_per_rank: float
+    #: Maximum words moved through any rank (critical path).
+    max_words_per_rank: int
+    #: Maximum words received by any rank.
+    max_received_per_rank: int
+    #: Maximum flops executed by any rank.
+    max_flops_per_rank: int
+    total_flops: int
+    #: Maximum number of communication rounds on any rank (latency proxy).
+    rounds: int
+    #: Mean words attributable to the input matrices / the output matrix.
+    input_words_per_rank: float
+    output_words_per_rank: float
+    #: Number of messages on the busiest rank.
+    max_messages_per_rank: int
+
+    @property
+    def mean_megabytes_per_rank(self) -> float:
+        return self.mean_words_per_rank * 8.0 / 1e6
+
+    @property
+    def p(self) -> int:
+        return self.scenario.p
+
+
+AlgorithmFn = Callable[[np.ndarray, np.ndarray, Scenario, DistributedMachine], np.ndarray]
+
+
+def _run_cosma(a, b, scenario, machine):
+    # The paper uses delta = 3% on thousands of ranks; at simulator scale a
+    # 3% allowance of e.g. 9 ranks cannot drop even one rank, so allow the
+    # grid optimizer to idle at least one (the trade-off it is designed to make).
+    delta = max(0.03, 1.5 / scenario.p) if scenario.p > 1 else 0.0
+    return cosma_multiply(
+        a, b, scenario.p, scenario.memory_words, machine=machine, max_idle_fraction=delta
+    ).matrix
+
+
+def _run_summa(a, b, scenario, machine):
+    return summa_multiply(a, b, scenario.p, machine=machine, memory_words=scenario.memory_words).matrix
+
+
+def _run_cannon(a, b, scenario, machine):
+    return cannon_multiply(a, b, scenario.p, machine=machine, memory_words=scenario.memory_words).matrix
+
+
+def _run_25d(a, b, scenario, machine):
+    return grid25d_multiply(a, b, scenario.p, scenario.memory_words, machine=machine).matrix
+
+
+def _run_carma(a, b, scenario, machine):
+    return carma_multiply(a, b, scenario.p, machine=machine, memory_words=scenario.memory_words).matrix
+
+
+#: Registry of algorithm names -> runner functions.  The names mirror the
+#: paper's comparison targets (our SUMMA stands in for ScaLAPACK, our 2.5D for
+#: CTF).
+ALGORITHMS: dict[str, AlgorithmFn] = {
+    "COSMA": _run_cosma,
+    "ScaLAPACK": _run_summa,
+    "CTF": _run_25d,
+    "CARMA": _run_carma,
+    "Cannon": _run_cannon,
+}
+
+#: The subset the paper's figures compare (Cannon is subsumed by ScaLAPACK/SUMMA).
+DEFAULT_ALGORITHMS = ("COSMA", "ScaLAPACK", "CTF", "CARMA")
+
+
+def run_algorithm(
+    name: str,
+    scenario: Scenario,
+    seed: int = 0,
+    verify: bool = True,
+) -> AlgorithmRun:
+    """Run one algorithm on one scenario and collect its metrics."""
+    if name not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    shape = scenario.shape
+    a_matrix, b_matrix = shape.random_matrices(seed=seed)
+    machine = DistributedMachine(scenario.p, memory_words=scenario.memory_words)
+    product = ALGORITHMS[name](a_matrix, b_matrix, scenario, machine)
+    correct = True
+    if verify:
+        correct = bool(np.allclose(product, a_matrix @ b_matrix, atol=1e-8 * shape.k))
+    counters = machine.counters
+    per_rank = counters.per_rank
+    return AlgorithmRun(
+        algorithm=name,
+        scenario=scenario,
+        correct=correct,
+        mean_words_per_rank=counters.mean_words_per_rank(),
+        mean_received_per_rank=counters.mean_received_per_rank(),
+        max_words_per_rank=counters.max_words_per_rank(),
+        max_received_per_rank=max((r.words_received for r in per_rank), default=0),
+        max_flops_per_rank=max((r.flops for r in per_rank), default=0),
+        total_flops=counters.total_flops,
+        rounds=counters.max_rounds(),
+        input_words_per_rank=sum(r.input_words for r in per_rank) / max(1, len(per_rank)),
+        output_words_per_rank=sum(r.output_words for r in per_rank) / max(1, len(per_rank)),
+        max_messages_per_rank=max((r.total_messages for r in per_rank), default=0),
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    seed: int = 0,
+    verify: bool = True,
+) -> dict[str, AlgorithmRun]:
+    """Run several algorithms on the same scenario (same input matrices)."""
+    return {name: run_algorithm(name, scenario, seed=seed, verify=verify) for name in algorithms}
+
+
+def sweep(
+    scenarios: Iterable[Scenario],
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    seed: int = 0,
+    verify: bool = True,
+) -> list[AlgorithmRun]:
+    """Run the full cross product of scenarios and algorithms."""
+    algorithms = tuple(algorithms)
+    runs: list[AlgorithmRun] = []
+    for scenario in scenarios:
+        for name in algorithms:
+            runs.append(run_algorithm(name, scenario, seed=seed, verify=verify))
+    return runs
+
+
+def group_by_scenario(runs: Iterable[AlgorithmRun]) -> Mapping[str, dict[str, AlgorithmRun]]:
+    """Group a flat list of runs into ``{scenario name: {algorithm: run}}``."""
+    grouped: dict[str, dict[str, AlgorithmRun]] = {}
+    for run in runs:
+        grouped.setdefault(run.scenario.name, {})[run.algorithm] = run
+    return grouped

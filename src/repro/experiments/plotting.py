@@ -1,0 +1,100 @@
+"""Plain-text plotting helpers for the reproduced figures.
+
+The paper's figures are log-log line plots (communication volume or % of peak
+versus core count) and stacked bars (Figure 12).  The benchmark harness runs
+in terminals and CI, so these helpers render the same data as ASCII charts --
+good enough to eyeball the crossovers and orderings the paper discusses
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def _scale(value: float, lo: float, hi: float, width: int, log: bool) -> int:
+    """Map ``value`` in [lo, hi] onto a column index in [0, width-1]."""
+    if hi <= lo:
+        return 0
+    if log:
+        lo_l, hi_l, v_l = math.log10(max(lo, 1e-300)), math.log10(max(hi, 1e-300)), math.log10(max(value, 1e-300))
+        fraction = (v_l - lo_l) / (hi_l - lo_l) if hi_l > lo_l else 0.0
+    else:
+        fraction = (value - lo) / (hi - lo)
+    return max(0, min(width - 1, int(round(fraction * (width - 1)))))
+
+
+def ascii_series_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    log_y: bool = True,
+    y_label: str = "value",
+) -> str:
+    """Render per-algorithm ``(x, y)`` series as horizontal ASCII bars per x.
+
+    Every (x, algorithm) pair becomes one row whose bar length encodes the y
+    value (log-scaled by default, as in the paper's log-log plots).  Rows are
+    grouped by x so the per-core-count comparison is immediate.
+    """
+    if not series:
+        return "(no data)"
+    all_points = [(x, y, name) for name, points in series.items() for x, y in points]
+    if not all_points:
+        return "(no data)"
+    ys = [y for _x, y, _name in all_points]
+    lo, hi = min(ys), max(ys)
+    xs = sorted({x for x, _y, _name in all_points})
+    name_width = max(len(name) for name in series)
+    lines = [f"{y_label}: '#' bar length is {'log-' if log_y else ''}scaled between {lo:.3g} and {hi:.3g}"]
+    for x in xs:
+        lines.append(f"x = {x:g}")
+        for name in sorted(series):
+            matching = [y for px, y in series[name] if px == x]
+            if not matching:
+                continue
+            y = matching[0]
+            bar = "#" * (1 + _scale(y, lo, hi, width, log_y))
+            lines.append(f"  {name.ljust(name_width)} |{bar} {y:.4g}")
+    return "\n".join(lines)
+
+
+def ascii_stacked_bars(
+    rows: Sequence[Mapping[str, float]],
+    label_key: str,
+    part_keys: Sequence[str],
+    width: int = 50,
+) -> str:
+    """Render stacked horizontal bars (Figure 12-style breakdowns).
+
+    Each row is one bar; ``part_keys`` name the stacked components.  Component
+    symbols are assigned in order: ``=``, ``~``, ``+``, ``.``.
+    """
+    if not rows:
+        return "(no data)"
+    symbols = ["=", "~", "+", "."]
+    totals = [sum(float(row[key]) for key in part_keys) for row in rows]
+    biggest = max(totals) if totals else 1.0
+    label_width = max(len(str(row[label_key])) for row in rows)
+    lines = [
+        "legend: " + ", ".join(f"'{symbols[i % len(symbols)]}' = {key}" for i, key in enumerate(part_keys))
+    ]
+    for row, total in zip(rows, totals):
+        bar = ""
+        for index, key in enumerate(part_keys):
+            value = float(row[key])
+            segment = int(round(width * value / biggest)) if biggest > 0 else 0
+            bar += symbols[index % len(symbols)] * segment
+        lines.append(f"{str(row[label_key]).ljust(label_width)} |{bar} ({total:.3g})")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline (used in quick summaries)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    return "".join(blocks[_scale(v, lo, hi, len(blocks), log=False)] for v in values)

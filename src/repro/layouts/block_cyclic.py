@@ -1,0 +1,135 @@
+"""ScaLAPACK-style block-cyclic layout.
+
+A matrix is tiled with fixed-size ``block_rows x block_cols`` tiles; tile
+``(ti, tj)`` is owned by process ``(ti mod grid_rows, tj mod grid_cols)`` of a
+``grid_rows x grid_cols`` process grid.  COSMA's blocked layout (section 7.6)
+is designed to be fully compatible with this format; the conversion routines
+in :mod:`repro.layouts.conversion` measure the cost of moving between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.intmath import ceil_div
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BlockCyclicLayout:
+    """Block-cyclic distribution of a ``rows x cols`` matrix.
+
+    Parameters
+    ----------
+    rows, cols:
+        Global matrix dimensions.
+    block_rows, block_cols:
+        Tile dimensions (ScaLAPACK's ``MB x NB``).
+    grid_rows, grid_cols:
+        Process grid dimensions (ScaLAPACK's ``Pr x Pc``).
+    """
+
+    rows: int
+    cols: int
+    block_rows: int
+    block_cols: int
+    grid_rows: int
+    grid_cols: int
+
+    def __post_init__(self) -> None:
+        for name in ("rows", "cols", "block_rows", "block_cols", "grid_rows", "grid_cols"):
+            check_positive_int(getattr(self, name), name)
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def tile_rows(self) -> int:
+        """Number of tile rows covering the matrix."""
+        return ceil_div(self.rows, self.block_rows)
+
+    @property
+    def tile_cols(self) -> int:
+        return ceil_div(self.cols, self.block_cols)
+
+    def tile_of_element(self, i: int, j: int) -> tuple[int, int]:
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise IndexError(f"element ({i}, {j}) outside {self.rows}x{self.cols} matrix")
+        return (i // self.block_rows, j // self.block_cols)
+
+    def owner_of_tile(self, tile_row: int, tile_col: int) -> tuple[int, int]:
+        """Process-grid coordinates owning a tile."""
+        return (tile_row % self.grid_rows, tile_col % self.grid_cols)
+
+    def owner_index(self, i: int, j: int) -> int:
+        """Linear rank index (row-major over the process grid) of element ``(i, j)``."""
+        ti, tj = self.tile_of_element(i, j)
+        pr, pc = self.owner_of_tile(ti, tj)
+        return pr * self.grid_cols + pc
+
+    def tile_range(self, tile_row: int, tile_col: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        r0 = tile_row * self.block_rows
+        r1 = min(r0 + self.block_rows, self.rows)
+        c0 = tile_col * self.block_cols
+        c1 = min(c0 + self.block_cols, self.cols)
+        if r0 >= self.rows or c0 >= self.cols:
+            raise IndexError(f"tile ({tile_row}, {tile_col}) outside the matrix")
+        return ((r0, r1), (c0, c1))
+
+    # -- data movement helpers ---------------------------------------------
+    def local_tiles(self, rank_row: int, rank_col: int) -> list[tuple[int, int]]:
+        """All tiles owned by process ``(rank_row, rank_col)``, row-major order."""
+        return [
+            (ti, tj)
+            for ti in range(rank_row, self.tile_rows, self.grid_rows)
+            for tj in range(rank_col, self.tile_cols, self.grid_cols)
+        ]
+
+    def split(self, matrix: np.ndarray) -> dict[int, dict[tuple[int, int], np.ndarray]]:
+        """Split a global matrix into per-rank tile dictionaries."""
+        if matrix.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match layout {self.rows}x{self.cols}"
+            )
+        out: dict[int, dict[tuple[int, int], np.ndarray]] = {}
+        for pr in range(self.grid_rows):
+            for pc in range(self.grid_cols):
+                rank = pr * self.grid_cols + pc
+                tiles: dict[tuple[int, int], np.ndarray] = {}
+                for (ti, tj) in self.local_tiles(pr, pc):
+                    (r0, r1), (c0, c1) = self.tile_range(ti, tj)
+                    tiles[(ti, tj)] = np.ascontiguousarray(matrix[r0:r1, c0:c1])
+                out[rank] = tiles
+        return out
+
+    def assemble(self, per_rank_tiles: dict[int, dict[tuple[int, int], np.ndarray]]) -> np.ndarray:
+        """Reassemble the global matrix from per-rank tiles."""
+        out = np.zeros((self.rows, self.cols))
+        for tiles in per_rank_tiles.values():
+            for (ti, tj), tile in tiles.items():
+                (r0, r1), (c0, c1) = self.tile_range(ti, tj)
+                if tile.shape != (r1 - r0, c1 - c0):
+                    raise ValueError(
+                        f"tile ({ti}, {tj}) has shape {tile.shape}, expected {(r1 - r0, c1 - c0)}"
+                    )
+                out[r0:r1, c0:c1] = tile
+        return out
+
+    def element_owners(self) -> np.ndarray:
+        """Matrix of linear owner indices of each element."""
+        owners = np.empty((self.rows, self.cols), dtype=np.int64)
+        for ti in range(self.tile_rows):
+            for tj in range(self.tile_cols):
+                (r0, r1), (c0, c1) = self.tile_range(ti, tj)
+                pr, pc = self.owner_of_tile(ti, tj)
+                owners[r0:r1, c0:c1] = pr * self.grid_cols + pc
+        return owners
+
+    def words_per_owner(self) -> list[int]:
+        """Number of words each rank stores, in linear rank order."""
+        owners = self.element_owners()
+        return [int(np.count_nonzero(owners == r)) for r in range(self.num_ranks)]

@@ -1,0 +1,145 @@
+"""Blocked matrix layout (section 7.6 of the paper).
+
+A matrix of shape ``rows x cols`` is split into a ``grid_rows x grid_cols``
+grid of contiguous blocks, as evenly as possible (the first few block rows /
+columns are one element larger when the dimensions do not divide).  Block
+``(bi, bj)`` is owned by rank ``ranks[bi * grid_cols + bj]`` where ``ranks`` is
+the rank list of the communicator that stores the matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.intmath import split_offsets
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BlockedLayout:
+    """A 2-D blocked distribution of a ``rows x cols`` matrix.
+
+    Parameters
+    ----------
+    rows, cols:
+        Global matrix dimensions.
+    grid_rows, grid_cols:
+        Number of block rows / block columns.  The number of owning ranks is
+        ``grid_rows * grid_cols``.
+    """
+
+    rows: int
+    cols: int
+    grid_rows: int
+    grid_cols: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.rows, "rows")
+        check_positive_int(self.cols, "cols")
+        check_positive_int(self.grid_rows, "grid_rows")
+        check_positive_int(self.grid_cols, "grid_cols")
+        if self.grid_rows > self.rows:
+            raise ValueError(
+                f"grid_rows={self.grid_rows} exceeds matrix rows={self.rows}"
+            )
+        if self.grid_cols > self.cols:
+            raise ValueError(
+                f"grid_cols={self.grid_cols} exceeds matrix cols={self.cols}"
+            )
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    def row_ranges(self) -> list[tuple[int, int]]:
+        """(start, stop) row range of every block row."""
+        return split_offsets(self.rows, self.grid_rows)
+
+    def col_ranges(self) -> list[tuple[int, int]]:
+        """(start, stop) column range of every block column."""
+        return split_offsets(self.cols, self.grid_cols)
+
+    def block_shape(self, block_row: int, block_col: int) -> tuple[int, int]:
+        r0, r1 = self.row_ranges()[block_row]
+        c0, c1 = self.col_ranges()[block_col]
+        return (r1 - r0, c1 - c0)
+
+    def block_range(self, block_row: int, block_col: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """((row_start, row_stop), (col_start, col_stop)) of a block."""
+        return (self.row_ranges()[block_row], self.col_ranges()[block_col])
+
+    def block_of_element(self, i: int, j: int) -> tuple[int, int]:
+        """Return the (block_row, block_col) owning global element ``(i, j)``."""
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise IndexError(f"element ({i}, {j}) outside {self.rows}x{self.cols} matrix")
+        for bi, (r0, r1) in enumerate(self.row_ranges()):
+            if r0 <= i < r1:
+                break
+        else:  # pragma: no cover - unreachable
+            raise AssertionError("row ranges do not cover the matrix")
+        for bj, (c0, c1) in enumerate(self.col_ranges()):
+            if c0 <= j < c1:
+                break
+        else:  # pragma: no cover - unreachable
+            raise AssertionError("column ranges do not cover the matrix")
+        return (bi, bj)
+
+    def owner_index(self, i: int, j: int) -> int:
+        """Linear index (into the owning rank list) of element ``(i, j)``."""
+        bi, bj = self.block_of_element(i, j)
+        return bi * self.grid_cols + bj
+
+    # -- data movement helpers ---------------------------------------------
+    def extract_block(self, matrix: np.ndarray, block_row: int, block_col: int) -> np.ndarray:
+        """Slice the block ``(block_row, block_col)`` out of the global matrix."""
+        self._check_matrix(matrix)
+        (r0, r1), (c0, c1) = self.block_range(block_row, block_col)
+        return np.ascontiguousarray(matrix[r0:r1, c0:c1])
+
+    def split(self, matrix: np.ndarray) -> dict[tuple[int, int], np.ndarray]:
+        """Split the global matrix into all of its blocks."""
+        self._check_matrix(matrix)
+        return {
+            (bi, bj): self.extract_block(matrix, bi, bj)
+            for bi in range(self.grid_rows)
+            for bj in range(self.grid_cols)
+        }
+
+    def assemble(self, blocks: dict[tuple[int, int], np.ndarray]) -> np.ndarray:
+        """Reassemble the global matrix from its blocks (inverse of :meth:`split`)."""
+        out = np.zeros((self.rows, self.cols))
+        for (bi, bj), block in blocks.items():
+            (r0, r1), (c0, c1) = self.block_range(bi, bj)
+            expected = (r1 - r0, c1 - c0)
+            if block.shape != expected:
+                raise ValueError(
+                    f"block ({bi}, {bj}) has shape {block.shape}, expected {expected}"
+                )
+            out[r0:r1, c0:c1] = block
+        return out
+
+    def element_owners(self) -> np.ndarray:
+        """Matrix of shape ``rows x cols`` giving the linear owner index of each element."""
+        owners = np.empty((self.rows, self.cols), dtype=np.int64)
+        for bi, (r0, r1) in enumerate(self.row_ranges()):
+            for bj, (c0, c1) in enumerate(self.col_ranges()):
+                owners[r0:r1, c0:c1] = bi * self.grid_cols + bj
+        return owners
+
+    def words_per_owner(self) -> list[int]:
+        """Number of words each owner stores (in linear owner order)."""
+        sizes = []
+        for bi in range(self.grid_rows):
+            for bj in range(self.grid_cols):
+                h, w = self.block_shape(bi, bj)
+                sizes.append(h * w)
+        return sizes
+
+    def _check_matrix(self, matrix: np.ndarray) -> None:
+        if matrix.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match layout {self.rows}x{self.cols}"
+            )

@@ -1,0 +1,120 @@
+"""Redistribution between matrix layouts, with communication accounting.
+
+COSMA advertises "transparent integration with the ScaLAPACK data format":
+inputs arriving in block-cyclic layout are converted to COSMA's blocked layout
+in a preprocessing step.  These helpers quantify that preprocessing cost and
+perform the actual data movement on the simulator.
+
+Layouts only need to expose ``element_owners()`` returning an integer matrix of
+linear owner indices, which both :class:`~repro.layouts.blocked.BlockedLayout`
+and :class:`~repro.layouts.block_cyclic.BlockCyclicLayout` do.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.machine.simulator import DistributedMachine
+
+
+class _OwnerLayout(Protocol):
+    rows: int
+    cols: int
+
+    def element_owners(self) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+
+def redistribution_volume(src_layout: _OwnerLayout, dst_layout: _OwnerLayout) -> int:
+    """Number of words that change owner when converting ``src`` to ``dst``.
+
+    This is the minimum possible redistribution traffic: every element whose
+    source owner differs from its destination owner must be moved exactly once.
+    """
+    src_owners = src_layout.element_owners()
+    dst_owners = dst_layout.element_owners()
+    if src_owners.shape != dst_owners.shape:
+        raise ValueError(
+            f"layouts describe different matrices: {src_owners.shape} vs {dst_owners.shape}"
+        )
+    return int(np.count_nonzero(src_owners != dst_owners))
+
+
+def redistribute(
+    machine: DistributedMachine,
+    matrix: np.ndarray,
+    src_layout: _OwnerLayout,
+    dst_layout: _OwnerLayout,
+    src_ranks: Sequence[int] | None = None,
+    dst_ranks: Sequence[int] | None = None,
+    kind: str = "input",
+) -> dict[int, np.ndarray]:
+    """Move a matrix from ``src_layout`` to ``dst_layout`` on the simulator.
+
+    ``src_ranks`` / ``dst_ranks`` map the layouts' linear owner indices onto
+    machine ranks (identity by default).  Elements are grouped by
+    (source rank, destination rank) pair and each group is transferred as a
+    single message, so both the volume and the message counts are realistic.
+
+    Returns a mapping ``machine rank -> dense local matrix`` holding the
+    destination-owned elements (elements not owned are zero); tests reassemble
+    it with the destination layout's owner mask.
+    """
+    if matrix.shape != (src_layout.rows, src_layout.cols):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match source layout "
+            f"{src_layout.rows}x{src_layout.cols}"
+        )
+    src_owners = src_layout.element_owners()
+    dst_owners = dst_layout.element_owners()
+    if src_owners.shape != dst_owners.shape:
+        raise ValueError("source and destination layouts describe different matrices")
+
+    n_src = int(src_owners.max()) + 1
+    n_dst = int(dst_owners.max()) + 1
+    src_ranks = list(range(n_src)) if src_ranks is None else list(src_ranks)
+    dst_ranks = list(range(n_dst)) if dst_ranks is None else list(dst_ranks)
+    if len(src_ranks) < n_src:
+        raise ValueError(f"need at least {n_src} source ranks, got {len(src_ranks)}")
+    if len(dst_ranks) < n_dst:
+        raise ValueError(f"need at least {n_dst} destination ranks, got {len(dst_ranks)}")
+
+    local: dict[int, np.ndarray] = {}
+    for owner_idx in range(n_dst):
+        local[dst_ranks[owner_idx]] = np.zeros_like(matrix, dtype=np.float64)
+
+    # Group elements by (source owner, destination owner).
+    for src_idx in range(n_src):
+        src_mask = src_owners == src_idx
+        if not src_mask.any():
+            continue
+        for dst_idx in range(n_dst):
+            pair_mask = src_mask & (dst_owners == dst_idx)
+            count = int(np.count_nonzero(pair_mask))
+            if count == 0:
+                continue
+            values = matrix[pair_mask]
+            src_rank = src_ranks[src_idx]
+            dst_rank = dst_ranks[dst_idx]
+            delivered = machine.send(src_rank, dst_rank, values, kind=kind)
+            local[dst_rank][pair_mask] = delivered
+    return local
+
+
+def assemble_from_locals(
+    local: dict[int, np.ndarray],
+    dst_layout: _OwnerLayout,
+    dst_ranks: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Rebuild the global matrix from the per-rank output of :func:`redistribute`."""
+    dst_owners = dst_layout.element_owners()
+    n_dst = int(dst_owners.max()) + 1
+    dst_ranks = list(range(n_dst)) if dst_ranks is None else list(dst_ranks)
+    out = np.zeros(dst_owners.shape)
+    for owner_idx in range(n_dst):
+        rank = dst_ranks[owner_idx]
+        mask = dst_owners == owner_idx
+        out[mask] = local[rank][mask]
+    return out

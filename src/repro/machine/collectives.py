@@ -1,0 +1,224 @@
+"""Collective communication operations on the distributed machine simulator.
+
+COSMA's communication pattern (section 7.2 of the paper) broadcasts panels of
+``A`` and ``B`` along the ``i``/``j`` dimensions of the processor grid and
+reduces partial results of ``C`` along ``k``.  The paper implements its own
+binary (binomial) broadcast/reduction trees; we do the same here so that both
+the communicated volume *and* the number of communication rounds (the latency
+proxy) are modelled faithfully.
+
+All collectives operate on an explicit list of participating ranks (a
+"sub-communicator") and account every word through
+:meth:`repro.machine.simulator.DistributedMachine.send`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.machine.simulator import DistributedMachine
+
+
+def _reorder_for_root(ranks: Sequence[int], root: int) -> list[int]:
+    """Return ``ranks`` rotated so that ``root`` comes first.
+
+    The binomial-tree helpers index positions relative to the root.
+    """
+    ranks = list(ranks)
+    if root not in ranks:
+        raise ValueError(f"root rank {root} is not part of the communicator {ranks}")
+    idx = ranks.index(root)
+    return ranks[idx:] + ranks[:idx]
+
+
+def broadcast(
+    machine: DistributedMachine,
+    root: int,
+    ranks: Sequence[int],
+    block: np.ndarray,
+    kind: str = "input",
+) -> dict[int, np.ndarray]:
+    """Binomial-tree broadcast of ``block`` from ``root`` to every rank in ``ranks``.
+
+    Returns a mapping ``rank -> local copy of block``.  With ``q`` ranks the
+    tree has ``ceil(log2 q)`` levels; each non-root rank receives the payload
+    exactly once, so the per-rank received volume matches MPI_Bcast.
+    """
+    order = _reorder_for_root(ranks, root)
+    q = len(order)
+    received: dict[int, np.ndarray] = {root: np.asarray(block)}
+    # Binomial tree: in round r, position i < 2**r sends to position i + 2**r.
+    span = 1
+    while span < q:
+        for pos in range(span):
+            partner = pos + span
+            if partner >= q:
+                break
+            src, dst = order[pos], order[partner]
+            received[dst] = machine.send(src, dst, received[src], kind=kind)
+        span *= 2
+    return received
+
+
+def reduce(
+    machine: DistributedMachine,
+    root: int,
+    ranks: Sequence[int],
+    blocks: Mapping[int, np.ndarray],
+    kind: str = "output",
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Binomial-tree reduction of per-rank ``blocks`` onto ``root``.
+
+    Each participating rank contributes one array of identical shape; the
+    result (element-wise sum by default) ends up on ``root`` and is returned.
+    Every non-root rank sends its partial exactly once, matching the volume of
+    MPI_Reduce.
+    """
+    order = _reorder_for_root(ranks, root)
+    q = len(order)
+    partial: dict[int, np.ndarray] = {}
+    for r in order:
+        if r not in blocks:
+            raise ValueError(f"rank {r} has no block to reduce")
+        partial[r] = np.array(blocks[r], copy=True)
+    # Mirror of the broadcast tree: in round r (from the top), position
+    # i + span sends to position i, which accumulates.
+    span = 1
+    while span < q:
+        span *= 2
+    span //= 2
+    while span >= 1:
+        for pos in range(span):
+            partner = pos + span
+            if partner >= q:
+                continue
+            src, dst = order[partner], order[pos]
+            incoming = machine.send(src, dst, partial[src], kind=kind)
+            if op is None:
+                machine.local_add(dst, partial[dst], incoming)
+            else:
+                partial[dst] = op(partial[dst], incoming)
+        span //= 2
+    return partial[root]
+
+
+def allreduce(
+    machine: DistributedMachine,
+    ranks: Sequence[int],
+    blocks: Mapping[int, np.ndarray],
+    kind: str = "output",
+) -> dict[int, np.ndarray]:
+    """Reduce-then-broadcast allreduce; returns the summed block on every rank."""
+    root = ranks[0]
+    total = reduce(machine, root, ranks, blocks, kind=kind)
+    return broadcast(machine, root, ranks, total, kind=kind)
+
+
+def reduce_scatter_blocks(
+    machine: DistributedMachine,
+    ranks: Sequence[int],
+    contributions: Mapping[int, Mapping[int, np.ndarray]],
+    kind: str = "output",
+) -> dict[int, np.ndarray]:
+    """Reduce-scatter where rank ``r`` ends up owning the sum of everyone's piece ``r``.
+
+    ``contributions[src][dst]`` is the partial block that ``src`` has computed
+    for the portion owned by ``dst``.  Every off-rank partial is sent directly
+    to its owner, which accumulates it -- the communicated volume equals that
+    of MPI_Reduce_scatter with the same block sizes.
+    """
+    results: dict[int, np.ndarray] = {}
+    for dst in ranks:
+        own = contributions.get(dst, {}).get(dst)
+        if own is None:
+            raise ValueError(f"rank {dst} is missing its own contribution")
+        acc = np.array(own, copy=True)
+        for src in ranks:
+            if src == dst:
+                continue
+            piece = contributions.get(src, {}).get(dst)
+            if piece is None:
+                continue
+            incoming = machine.send(src, dst, piece, kind=kind)
+            machine.local_add(dst, acc, incoming)
+        results[dst] = acc
+    return results
+
+
+def allgather(
+    machine: DistributedMachine,
+    ranks: Sequence[int],
+    blocks: Mapping[int, np.ndarray],
+    kind: str = "input",
+) -> dict[int, list[np.ndarray]]:
+    """Ring allgather: every rank ends up with every rank's block (in rank order).
+
+    The per-rank received volume is ``(q - 1) * block_size``, identical to
+    MPI_Allgather.
+    """
+    order = list(ranks)
+    q = len(order)
+    gathered: dict[int, list[np.ndarray]] = {r: [None] * q for r in order}  # type: ignore[list-item]
+    for pos, r in enumerate(order):
+        gathered[r][pos] = np.asarray(blocks[r])
+    # Ring: in step s, rank at position pos sends the block it received s steps
+    # ago to its right neighbour.
+    for step in range(q - 1):
+        for pos, r in enumerate(order):
+            send_pos = (pos - step) % q
+            dst = order[(pos + 1) % q]
+            payload = gathered[r][send_pos]
+            delivered = machine.send(r, dst, payload, kind=kind, count_round=False)
+            gathered[dst][send_pos] = delivered
+        for r in order:
+            machine.rank(r).counters.rounds += 1
+    return gathered
+
+
+def scatter(
+    machine: DistributedMachine,
+    root: int,
+    ranks: Sequence[int],
+    pieces: Mapping[int, np.ndarray],
+    kind: str = "input",
+) -> dict[int, np.ndarray]:
+    """Scatter per-rank ``pieces`` from ``root``; returns the piece on each rank."""
+    out: dict[int, np.ndarray] = {}
+    for r in ranks:
+        if r not in pieces:
+            raise ValueError(f"scatter is missing the piece for rank {r}")
+        if r == root:
+            out[r] = np.asarray(pieces[r]).copy()
+        else:
+            out[r] = machine.send(root, r, pieces[r], kind=kind)
+    return out
+
+
+def ring_shift(
+    machine: DistributedMachine,
+    ranks: Sequence[int],
+    blocks: Mapping[int, np.ndarray],
+    displacement: int = 1,
+    kind: str = "input",
+) -> dict[int, np.ndarray]:
+    """Cyclically shift blocks along ``ranks`` by ``displacement`` positions.
+
+    Used by Cannon's algorithm: the block held by the rank at position ``pos``
+    moves to the rank at position ``pos - displacement`` (i.e. data flows
+    "left/up" as in the classical formulation).
+    """
+    order = list(ranks)
+    q = len(order)
+    out: dict[int, np.ndarray] = {}
+    for pos, r in enumerate(order):
+        dst = order[(pos - displacement) % q]
+        if dst == r:
+            out[r] = np.asarray(blocks[r]).copy()
+        else:
+            out[dst] = machine.send(r, dst, blocks[r], kind=kind, count_round=False)
+    for r in order:
+        machine.rank(r).counters.rounds += 1
+    return out

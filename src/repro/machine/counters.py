@@ -1,0 +1,129 @@
+"""Communication counters -- the simulator's stand-in for the mpiP profiler.
+
+Every point-to-point transfer and every collective performed on the
+:class:`~repro.machine.simulator.DistributedMachine` updates these counters.
+The experiment harness reads them to produce the "MB communicated per core"
+series of Figures 6-7 and the per-rank averages of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RankCounters:
+    """Per-rank communication and computation counters."""
+
+    words_sent: int = 0
+    words_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    flops: int = 0
+    #: Number of communication rounds this rank participated in.  Used as the
+    #: latency proxy ``L`` (maximum number of messages on the critical path).
+    rounds: int = 0
+    #: Words communicated attributable to input matrices A and B (Figure 12
+    #: splits "sending inputs A and B" from "sending output C").
+    input_words: int = 0
+    #: Words communicated attributable to the output matrix C.
+    output_words: int = 0
+
+    @property
+    def total_words(self) -> int:
+        """Total words moved through this rank (sent + received)."""
+        return self.words_sent + self.words_received
+
+    @property
+    def total_messages(self) -> int:
+        return self.messages_sent + self.messages_received
+
+    def copy(self) -> "RankCounters":
+        return RankCounters(
+            words_sent=self.words_sent,
+            words_received=self.words_received,
+            messages_sent=self.messages_sent,
+            messages_received=self.messages_received,
+            flops=self.flops,
+            rounds=self.rounds,
+            input_words=self.input_words,
+            output_words=self.output_words,
+        )
+
+
+@dataclass
+class CommCounters:
+    """Aggregated counters for a whole distributed run."""
+
+    per_rank: list[RankCounters] = field(default_factory=list)
+
+    @classmethod
+    def for_ranks(cls, p: int) -> "CommCounters":
+        return cls(per_rank=[RankCounters() for _ in range(p)])
+
+    # -- aggregate views -------------------------------------------------
+    @property
+    def p(self) -> int:
+        return len(self.per_rank)
+
+    @property
+    def total_words_sent(self) -> int:
+        return sum(r.words_sent for r in self.per_rank)
+
+    @property
+    def total_words_received(self) -> int:
+        return sum(r.words_received for r in self.per_rank)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages_sent for r in self.per_rank)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(r.flops for r in self.per_rank)
+
+    def max_words_per_rank(self) -> int:
+        """Maximum words moved through any single rank (critical-path volume)."""
+        if not self.per_rank:
+            return 0
+        return max(r.total_words for r in self.per_rank)
+
+    def mean_words_per_rank(self) -> float:
+        """Average words moved per rank -- the quantity reported in Table 4."""
+        if not self.per_rank:
+            return 0.0
+        return sum(r.total_words for r in self.per_rank) / len(self.per_rank)
+
+    def mean_received_per_rank(self) -> float:
+        if not self.per_rank:
+            return 0.0
+        return self.total_words_received / len(self.per_rank)
+
+    def max_rounds(self) -> int:
+        """Latency proxy: maximum number of communication rounds on any rank."""
+        if not self.per_rank:
+            return 0
+        return max(r.rounds for r in self.per_rank)
+
+    def mean_megabytes_per_rank(self, word_bytes: int = 8) -> float:
+        """Average megabytes moved per rank, matching Table 4's units."""
+        return self.mean_words_per_rank() * word_bytes / 1e6
+
+    def conservation_ok(self) -> bool:
+        """Every word sent must have been received by exactly one rank."""
+        return self.total_words_sent == self.total_words_received
+
+    def reset(self) -> None:
+        for rank in self.per_rank:
+            rank.words_sent = 0
+            rank.words_received = 0
+            rank.messages_sent = 0
+            rank.messages_received = 0
+            rank.flops = 0
+            rank.rounds = 0
+            rank.input_words = 0
+            rank.output_words = 0
+
+    def snapshot(self) -> "CommCounters":
+        """Deep copy of the current counters (for before/after diffing)."""
+        return CommCounters(per_rank=[r.copy() for r in self.per_rank])

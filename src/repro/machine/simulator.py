@@ -1,0 +1,282 @@
+"""Distributed machine simulator with exact communication accounting.
+
+The paper's machine model (section 2.1): ``p`` processors, each with a local
+memory of ``S`` words; any processor can exchange up to ``S`` words with any
+other; all operands of a computation must reside in local memory.
+
+Algorithms in :mod:`repro.core` and :mod:`repro.baselines` are written as
+coordinator-style programs that keep one :class:`Rank` object per simulated
+processor and move numpy blocks between ranks *only* through the machine's
+communication primitives.  Every primitive updates the per-rank
+:class:`~repro.machine.counters.RankCounters`, so the harness can read off the
+same "MB communicated per rank" quantity that the paper measures with mpiP.
+
+The simulator does not try to model time directly; the analytic performance
+model in :mod:`repro.experiments.perf_model` converts the counters into
+simulated runtimes using an alpha-beta-gamma model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.machine.counters import CommCounters, RankCounters
+from repro.machine.topology import MachineSpec, laptop_spec
+from repro.utils.validation import check_positive_int
+
+
+class LocalMemoryExceededError(RuntimeError):
+    """Raised when a rank's resident data exceeds its local memory ``S``."""
+
+
+@dataclass
+class Rank:
+    """State of one simulated processor.
+
+    Attributes
+    ----------
+    rank_id:
+        Processor index in ``[0, p)``.
+    store:
+        Named local blocks (numpy arrays).  Algorithms are free to use any
+        naming convention; the memory accounting sums the sizes of all stored
+        arrays.
+    counters:
+        Per-rank communication/computation counters.
+    """
+
+    rank_id: int
+    store: dict[str, np.ndarray] = field(default_factory=dict)
+    counters: RankCounters = field(default_factory=RankCounters)
+
+    def resident_words(self) -> int:
+        """Number of words currently resident in this rank's local memory."""
+        return int(sum(block.size for block in self.store.values()))
+
+    def put(self, name: str, block: np.ndarray) -> None:
+        """Place ``block`` into the local store under ``name``."""
+        self.store[name] = block
+
+    def get(self, name: str) -> np.ndarray:
+        return self.store[name]
+
+    def pop(self, name: str) -> np.ndarray:
+        return self.store.pop(name)
+
+    def has(self, name: str) -> bool:
+        return name in self.store
+
+
+class DistributedMachine:
+    """A ``p``-processor distributed-memory machine with word-exact accounting.
+
+    Parameters
+    ----------
+    p:
+        Number of processors (ranks).
+    memory_words:
+        Local memory size ``S`` per rank, in words.  When ``enforce_memory``
+        is true, :meth:`check_memory` raises if any rank's resident data
+        exceeds this budget.
+    spec:
+        Optional :class:`~repro.machine.topology.MachineSpec` used by the
+        performance model; defaults to a laptop-like spec with the given
+        ``memory_words``.
+    enforce_memory:
+        Whether :meth:`check_memory` raises (True) or merely records the peak
+        usage (False).  Algorithms call ``check_memory`` at the end of every
+        communication round.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        memory_words: int | None = None,
+        spec: MachineSpec | None = None,
+        enforce_memory: bool = False,
+    ) -> None:
+        self.p = check_positive_int(p, "p")
+        if spec is None:
+            spec = laptop_spec(memory_words or (1 << 20))
+        self.spec = spec
+        self.memory_words = int(memory_words) if memory_words is not None else spec.memory_words_per_core
+        if self.memory_words <= 0:
+            raise ValueError(f"memory_words must be positive, got {self.memory_words}")
+        self.enforce_memory = bool(enforce_memory)
+        self.ranks = [Rank(rank_id=i) for i in range(self.p)]
+        self.counters = CommCounters(per_rank=[rank.counters for rank in self.ranks])
+        self.peak_resident_words = 0
+        #: Log of (round_label, participating_ranks) entries, useful for debugging.
+        self.round_log: list[str] = []
+
+    # ------------------------------------------------------------------
+    # basic rank access
+    # ------------------------------------------------------------------
+    def rank(self, rank_id: int) -> Rank:
+        if not 0 <= rank_id < self.p:
+            raise IndexError(f"rank {rank_id} out of range for machine with p={self.p}")
+        return self.ranks[rank_id]
+
+    def __len__(self) -> int:
+        return self.p
+
+    # ------------------------------------------------------------------
+    # point-to-point communication
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        block: np.ndarray,
+        kind: str = "input",
+        count_round: bool = True,
+    ) -> np.ndarray:
+        """Transfer ``block`` from rank ``src`` to rank ``dst``.
+
+        Returns the array object delivered at ``dst`` (a copy, so that sender
+        and receiver never alias the same buffer, mirroring MPI semantics).
+        A transfer from a rank to itself is free, as in MPI shared-memory
+        shortcuts -- no counters are updated.
+
+        ``kind`` is either ``"input"`` (matrices A/B) or ``"output"``
+        (partial/final C); Figure 12 reports these separately.
+        """
+        block = np.asarray(block)
+        if src == dst:
+            return block.copy()
+        sender = self.rank(src)
+        receiver = self.rank(dst)
+        words = int(block.size)
+        sender.counters.words_sent += words
+        sender.counters.messages_sent += 1
+        receiver.counters.words_received += words
+        receiver.counters.messages_received += 1
+        if kind == "output":
+            sender.counters.output_words += words
+            receiver.counters.output_words += words
+        else:
+            sender.counters.input_words += words
+            receiver.counters.input_words += words
+        if count_round:
+            sender.counters.rounds += 1
+            receiver.counters.rounds += 1
+        return block.copy()
+
+    def sendrecv(
+        self,
+        a_src: int,
+        a_dst: int,
+        a_block: np.ndarray,
+        b_src: int,
+        b_dst: int,
+        b_block: np.ndarray,
+        kind: str = "input",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Two simultaneous transfers counted as a single round on each rank."""
+        out_a = self.send(a_src, a_dst, a_block, kind=kind, count_round=False)
+        out_b = self.send(b_src, b_dst, b_block, kind=kind, count_round=False)
+        for r in {a_src, a_dst, b_src, b_dst}:
+            self.rank(r).counters.rounds += 1
+        return out_a, out_b
+
+    # ------------------------------------------------------------------
+    # local compute accounting
+    # ------------------------------------------------------------------
+    def local_multiply(
+        self,
+        rank_id: int,
+        a_block: np.ndarray,
+        b_block: np.ndarray,
+        accumulate_into: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Perform a local (BLAS-like) multiplication on ``rank_id``.
+
+        Counts ``2 * m * n * k`` flops and returns the (possibly accumulated)
+        product.
+        """
+        rank = self.rank(rank_id)
+        a_block = np.asarray(a_block, dtype=np.float64)
+        b_block = np.asarray(b_block, dtype=np.float64)
+        if a_block.ndim != 2 or b_block.ndim != 2:
+            raise ValueError("local_multiply expects 2-D blocks")
+        if a_block.shape[1] != b_block.shape[0]:
+            raise ValueError(
+                f"inner dimensions do not match: {a_block.shape} x {b_block.shape}"
+            )
+        m, k = a_block.shape
+        _, n = b_block.shape
+        rank.counters.flops += 2 * m * n * k
+        product = a_block @ b_block
+        if accumulate_into is None:
+            return product
+        if accumulate_into.shape != product.shape:
+            raise ValueError(
+                f"accumulation buffer shape {accumulate_into.shape} does not match product {product.shape}"
+            )
+        accumulate_into += product
+        return accumulate_into
+
+    def local_add(self, rank_id: int, target: np.ndarray, other: np.ndarray) -> np.ndarray:
+        """Accumulate ``other`` into ``target`` on ``rank_id`` (reduction flops)."""
+        rank = self.rank(rank_id)
+        other = np.asarray(other)
+        if target.shape != other.shape:
+            raise ValueError(f"shape mismatch in local_add: {target.shape} vs {other.shape}")
+        rank.counters.flops += int(target.size)
+        target += other
+        return target
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    def check_memory(self, extra_words: Mapping[int, int] | None = None) -> int:
+        """Record (and optionally enforce) the per-rank resident footprint.
+
+        Parameters
+        ----------
+        extra_words:
+            Optional per-rank extra words (e.g. communication buffers not kept
+            in ``store``).
+
+        Returns the current maximum resident words over all ranks.
+        """
+        worst = 0
+        offender = -1
+        for rank in self.ranks:
+            resident = rank.resident_words()
+            if extra_words is not None:
+                resident += int(extra_words.get(rank.rank_id, 0))
+            if resident > worst:
+                worst = resident
+                offender = rank.rank_id
+        if worst > self.peak_resident_words:
+            self.peak_resident_words = worst
+        if self.enforce_memory and worst > self.memory_words:
+            raise LocalMemoryExceededError(
+                f"rank {offender} holds {worst} words which exceeds the local memory S={self.memory_words}"
+            )
+        return worst
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def gather_results(self, name: str, ranks: Iterable[int] | None = None) -> dict[int, np.ndarray]:
+        """Collect the block called ``name`` from each rank (no accounting).
+
+        This is a *debug/verification* helper, equivalent to the test harness
+        reading back the distributed result; it does not represent algorithmic
+        communication and therefore does not touch the counters.
+        """
+        selected = range(self.p) if ranks is None else ranks
+        return {r: self.rank(r).get(name) for r in selected if self.rank(r).has(name)}
+
+    def log_round(self, label: str) -> None:
+        self.round_log.append(label)
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
+        self.peak_resident_words = 0
+        self.round_log.clear()

@@ -1,0 +1,124 @@
+"""General I/O lower-bound machinery (Lemmas 1-4 of the paper).
+
+These functions are pure formulas parameterized by the quantities a particular
+CDAG analysis provides (the number of subcomputations ``H(X)``, the maximum
+reuse ``R(S)``, the minimum store ``T(S)``, the largest subcomputation
+``|V_max|`` and the maximal computational intensity ``rho``).  The MMM-specific
+instantiations live in :mod:`repro.pebbling.mmm_bounds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int
+
+
+def hong_kung_lower_bound(s: int, h_2s: int) -> int:
+    """Hong & Kung's Lemma 1: ``Q >= S * (H(2S) - 1)``.
+
+    Parameters
+    ----------
+    s:
+        Fast-memory size (number of red pebbles).
+    h_2s:
+        ``H(2S)``: the minimum number of subcomputations in any valid
+        ``2S``-partition of the CDAG.
+    """
+    s = check_positive_int(s, "s")
+    h_2s = check_positive_int(h_2s, "h_2s")
+    return s * (h_2s - 1)
+
+
+def generalized_lower_bound(x: int, r_s: int, t_s: int, h_x: int) -> int:
+    """The paper's Lemma 3: ``Q >= (X - R(S) + T(S)) * (H(X) - 1)``.
+
+    ``R(S)`` is the maximum reuse-set size and ``T(S)`` the minimum store-set
+    size over the subcomputations of the X-partition.
+    """
+    x = check_positive_int(x, "x")
+    h_x = check_positive_int(h_x, "h_x")
+    if r_s < 0 or t_s < 0:
+        raise ValueError("reuse and store bounds must be non-negative")
+    if r_s > x:
+        raise ValueError(f"reuse bound R(S)={r_s} cannot exceed X={x}")
+    return max(0, (x - r_s + t_s) * (h_x - 1))
+
+
+def subcomputation_count_lower_bound(total_vertices: int, largest_subcomputation: int) -> int:
+    """Equation (3): ``H(X) >= |V| / |V_max|`` (rounded up)."""
+    total_vertices = check_positive_int(total_vertices, "total_vertices")
+    largest_subcomputation = check_positive_int(largest_subcomputation, "largest_subcomputation")
+    return -(-total_vertices // largest_subcomputation)
+
+
+def computational_intensity(
+    subcomputation_size: float,
+    x: float,
+    reuse: float,
+    store: float,
+) -> float:
+    """Computational intensity ``rho_i = |V_i| / (X - |V_{R,i}| + |W_{B,i}|)`` (Lemma 4)."""
+    denominator = x - reuse + store
+    if denominator <= 0:
+        raise ValueError(
+            f"computational intensity undefined: X - reuse + store = {denominator} <= 0"
+        )
+    if subcomputation_size < 0:
+        raise ValueError("subcomputation size must be non-negative")
+    return subcomputation_size / denominator
+
+
+def intensity_lower_bound(total_vertices: float, max_intensity: float) -> float:
+    """Lemma 4: ``Q >= |V| / rho`` where ``rho`` is the maximal computational intensity."""
+    if max_intensity <= 0:
+        raise ValueError(f"max_intensity must be positive, got {max_intensity}")
+    if total_vertices < 0:
+        raise ValueError("total_vertices must be non-negative")
+    return total_vertices / max_intensity
+
+
+@dataclass(frozen=True)
+class IntensityAnalysis:
+    """Summary of a computational-intensity analysis of an X-partition.
+
+    Produced by :func:`analyze_partition`; the resulting lower bound is the
+    Lemma 4 bound using the *measured* maximal intensity of the partition, so
+    it is valid for the specific schedule the partition describes.
+    """
+
+    x: int
+    total_vertices: int
+    max_intensity: float
+    max_reuse: int
+    min_store: int
+    h: int
+
+    @property
+    def lower_bound(self) -> float:
+        return intensity_lower_bound(self.total_vertices, self.max_intensity)
+
+
+def analyze_partition(partition, x: int) -> IntensityAnalysis:
+    """Measure reuse/store/intensity quantities of an :class:`~repro.pebbling.partition.XPartition`.
+
+    The maximal computational intensity is evaluated per subcomputation using
+    the partition's (over-approximated) reuse sets and store sets, exactly as
+    in the proof of Lemma 5.
+    """
+    reuse_sets = partition.reuse_sets()
+    store_sets = partition.store_sets()
+    max_intensity = 0.0
+    for vi, reuse, store in zip(partition.subcomputations, reuse_sets, store_sets):
+        rho = computational_intensity(len(vi), x, len(reuse), len(store))
+        if rho > max_intensity:
+            max_intensity = rho
+    total = len(partition.cdag.computation_vertices)
+    return IntensityAnalysis(
+        x=x,
+        total_vertices=total,
+        max_intensity=max_intensity,
+        max_reuse=max((len(r) for r in reuse_sets), default=0),
+        min_store=min((len(s) for s in store_sets), default=0),
+        h=partition.h,
+    )

@@ -1,0 +1,182 @@
+"""Computational directed acyclic graphs (CDAGs).
+
+A CDAG ``G = (V, E)`` models an execution of an algorithm (section 2.2 of the
+paper): every vertex is one elementary operation (or an input value), and an
+edge ``(u, v)`` says that ``v`` consumes the result of ``u``.  Inputs are
+vertices without parents; outputs are vertices without children (or vertices
+explicitly marked as outputs).
+
+The class is a thin, dependency-free adjacency structure with a
+``to_networkx`` bridge for algorithms (e.g. topological sorting of large
+graphs) where networkx is convenient.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+class CDAG:
+    """A computational DAG with parent/child navigation.
+
+    Vertices are arbitrary hashable objects.  Edges are added with
+    :meth:`add_edge`; isolated vertices with :meth:`add_vertex`.
+    """
+
+    def __init__(self) -> None:
+        self._parents: dict[Vertex, set[Vertex]] = {}
+        self._children: dict[Vertex, set[Vertex]] = {}
+        self._explicit_outputs: set[Vertex] | None = None
+
+    # -- construction ------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        self._parents.setdefault(v, set())
+        self._children.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add edge ``u -> v`` (v depends on u); vertices are created as needed."""
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u!r} is not allowed in a DAG")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._parents[v].add(u)
+        self._children[u].add(v)
+
+    def add_edges(self, edges: Iterable[tuple[Vertex, Vertex]]) -> None:
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def mark_outputs(self, outputs: Iterable[Vertex]) -> None:
+        """Explicitly designate the output set ``O`` (otherwise: childless vertices)."""
+        outputs = set(outputs)
+        missing = [v for v in outputs if v not in self._parents]
+        if missing:
+            raise KeyError(f"cannot mark unknown vertices as outputs: {missing!r}")
+        self._explicit_outputs = outputs
+
+    # -- basic queries -------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        return frozenset(self._parents)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(children) for children in self._children.values())
+
+    def parents(self, v: Vertex) -> frozenset[Vertex]:
+        """``Pred(v)``: immediate predecessors of ``v``."""
+        return frozenset(self._parents[v])
+
+    def children(self, v: Vertex) -> frozenset[Vertex]:
+        """``Succ(v)``: immediate successors of ``v``."""
+        return frozenset(self._children[v])
+
+    @property
+    def inputs(self) -> frozenset[Vertex]:
+        """Vertices without parents (the input set ``I``)."""
+        return frozenset(v for v, ps in self._parents.items() if not ps)
+
+    @property
+    def outputs(self) -> frozenset[Vertex]:
+        """The output set ``O``: explicitly marked outputs, else childless vertices."""
+        if self._explicit_outputs is not None:
+            return frozenset(self._explicit_outputs)
+        return frozenset(v for v, cs in self._children.items() if not cs)
+
+    @property
+    def computation_vertices(self) -> frozenset[Vertex]:
+        """Non-input vertices, i.e. vertices that must be computed."""
+        return self.vertices - self.inputs
+
+    # -- graph algorithms ------------------------------------------------------
+    def topological_order(self) -> list[Vertex]:
+        """Kahn topological order; raises ``ValueError`` if the graph has a cycle."""
+        in_degree = {v: len(ps) for v, ps in self._parents.items()}
+        ready = deque(sorted((v for v, d in in_degree.items() if d == 0), key=repr))
+        order: list[Vertex] = []
+        while ready:
+            v = ready.popleft()
+            order.append(v)
+            for child in sorted(self._children[v], key=repr):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._parents):
+            raise ValueError("CDAG contains a cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+        except ValueError:
+            return False
+        return True
+
+    def ancestors(self, v: Vertex) -> set[Vertex]:
+        """All (transitive) predecessors of ``v`` (excluding ``v``)."""
+        seen: set[Vertex] = set()
+        stack = list(self._parents[v])
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(self._parents[u])
+        return seen
+
+    def descendants(self, v: Vertex) -> set[Vertex]:
+        """All (transitive) successors of ``v`` (excluding ``v``)."""
+        seen: set[Vertex] = set()
+        stack = list(self._children[v])
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(self._children[u])
+        return seen
+
+    def subgraph_vertices_reaching(self, targets: Iterable[Vertex]) -> set[Vertex]:
+        """All vertices from which some vertex in ``targets`` is reachable (incl. targets)."""
+        result: set[Vertex] = set()
+        stack = list(targets)
+        while stack:
+            v = stack.pop()
+            if v in result:
+                continue
+            result.add(v)
+            stack.extend(self._parents[v])
+        return result
+
+    def iter_edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        for u, children in self._children.items():
+            for v in children:
+                yield (u, v)
+
+    # -- interop -----------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """Export to a :class:`networkx.DiGraph` (vertex attributes are not copied)."""
+        g = nx.DiGraph()
+        g.add_nodes_from(self._parents)
+        g.add_edges_from(self.iter_edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, graph: nx.DiGraph) -> "CDAG":
+        cdag = cls()
+        for v in graph.nodes:
+            cdag.add_vertex(v)
+        for u, v in graph.edges:
+            cdag.add_edge(u, v)
+        return cdag

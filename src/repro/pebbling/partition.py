@@ -1,0 +1,193 @@
+"""X-partitions, dominator sets, minimum sets and reuse sets (section 4).
+
+An *X-partition* of a CDAG is a sequence of subcomputations ``V_1, ..., V_h``
+that (1) are pairwise disjoint, (2) cover all non-input vertices, (3) have no
+cyclic dependencies between them, and (4) have dominator and minimum sets of
+size at most ``X``.  Hong & Kung's original construction uses ``X = 2S``; the
+paper's generalized Lemmas 2-4 work with arbitrary ``X >= S`` and additionally
+track per-subcomputation *reuse* sets (data already in fast memory when the
+subcomputation starts) and *store* sets (data that must be written back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.pebbling.cdag import CDAG, Vertex
+
+
+def dominator_set(cdag: CDAG, subset: Iterable[Vertex]) -> set[Vertex]:
+    """Return a *minimal-in-practice* dominator set ``Dom(V_i)`` of ``subset``.
+
+    ``Dom(V_i)`` must intersect every path from a CDAG input to a vertex of
+    ``V_i``.  For the subcomputations used in this library (and in the paper's
+    MMM analysis) the set of *immediate out-of-subset parents* of the subset is
+    exactly such a dominator: every input-to-subset path enters the subset
+    through one of these boundary vertices or starts inside the subset itself
+    (impossible for non-input subsets).  This matches Equation (5) of the
+    paper, ``Dom(V_r) = alpha_r ∪ beta_r ∪ Gamma_r``.
+    """
+    subset = set(subset)
+    dom: set[Vertex] = set()
+    for v in subset:
+        for parent in cdag.parents(v):
+            if parent not in subset:
+                dom.add(parent)
+    return dom
+
+
+def minimum_set(cdag: CDAG, subset: Iterable[Vertex]) -> set[Vertex]:
+    """Return ``Min(V_i)``: vertices of the subset with no children inside it."""
+    subset = set(subset)
+    return {v for v in subset if not (cdag.children(v) & subset)}
+
+
+def is_dominator(cdag: CDAG, subset: Iterable[Vertex], candidate: Iterable[Vertex]) -> bool:
+    """Check that ``candidate`` intersects every input-to-``subset`` path.
+
+    Implemented by removing ``candidate`` from the graph and testing whether
+    any CDAG input can still reach the subset.
+    """
+    subset = set(subset)
+    candidate = set(candidate)
+    blocked = candidate
+    targets = subset - blocked
+    if not targets:
+        return True
+    # Reverse reachability from the subset avoiding blocked vertices.
+    seen: set[Vertex] = set()
+    stack = list(targets)
+    while stack:
+        v = stack.pop()
+        if v in seen:
+            continue
+        seen.add(v)
+        if v in cdag.inputs and v not in subset:
+            return False
+        for parent in cdag.parents(v):
+            if parent in blocked or parent in seen:
+                continue
+            if parent in cdag.inputs:
+                return False
+            stack.append(parent)
+    return True
+
+
+@dataclass
+class XPartition:
+    """A candidate X-partition ``S(X) = {V_1, ..., V_h}`` of a CDAG.
+
+    Attributes
+    ----------
+    cdag:
+        The underlying CDAG.
+    subcomputations:
+        The ordered subsets ``V_i`` (each a set of non-input vertices).
+    """
+
+    cdag: CDAG
+    subcomputations: Sequence[set[Vertex]] = field(default_factory=list)
+
+    @property
+    def h(self) -> int:
+        """Number of subcomputations in the partition."""
+        return len(self.subcomputations)
+
+    def dominator_sets(self) -> list[set[Vertex]]:
+        return [dominator_set(self.cdag, vi) for vi in self.subcomputations]
+
+    def minimum_sets(self) -> list[set[Vertex]]:
+        return [minimum_set(self.cdag, vi) for vi in self.subcomputations]
+
+    def max_dominator_size(self) -> int:
+        return max((len(d) for d in self.dominator_sets()), default=0)
+
+    def max_minimum_size(self) -> int:
+        return max((len(m) for m in self.minimum_sets()), default=0)
+
+    def largest_subcomputation(self) -> int:
+        """``|V_max|`` -- size of the largest subset (used in Lemma 3, Eq. 3)."""
+        return max((len(vi) for vi in self.subcomputations), default=0)
+
+    # -- validity -----------------------------------------------------------
+    def covers_all_computations(self) -> bool:
+        covered: set[Vertex] = set()
+        for vi in self.subcomputations:
+            covered |= vi
+        return covered == set(self.cdag.computation_vertices)
+
+    def is_pairwise_disjoint(self) -> bool:
+        seen: set[Vertex] = set()
+        for vi in self.subcomputations:
+            if seen & vi:
+                return False
+            seen |= vi
+        return True
+
+    def has_no_cyclic_dependencies(self) -> bool:
+        """Check that the order ``V_1, ..., V_h`` is consistent with the CDAG edges.
+
+        A dependency from ``V_j`` to ``V_i`` with ``j > i`` (i.e. a vertex in an
+        earlier subset depending on a vertex of a later subset) would violate
+        the partition's acyclicity requirement.
+        """
+        position: dict[Vertex, int] = {}
+        for index, vi in enumerate(self.subcomputations):
+            for v in vi:
+                position[v] = index
+        for index, vi in enumerate(self.subcomputations):
+            for v in vi:
+                for parent in self.cdag.parents(v):
+                    if parent in position and position[parent] > index:
+                        return False
+        return True
+
+    def is_valid(self, x: int) -> bool:
+        """Full validity check of the partition for a given ``X``."""
+        return (
+            self.is_pairwise_disjoint()
+            and self.covers_all_computations()
+            and self.has_no_cyclic_dependencies()
+            and self.max_dominator_size() <= x
+            and self.max_minimum_size() <= x
+        )
+
+    # -- reuse / store analysis ------------------------------------------------
+    def reuse_sets(self) -> list[set[Vertex]]:
+        """Upper-bound reuse sets ``V_{R,i}``.
+
+        ``V_{R,i}`` contains vertices holding red pebbles just before ``V_i``
+        starts whose children are used by ``V_i``.  Without replaying an actual
+        pebbling we over-approximate it (as the paper's analysis does) by the
+        intersection of ``Dom(V_i)`` with everything the previous
+        subcomputation could have left in fast memory:
+        ``alpha_{i-1} ∪ beta_{i-1} ∪ Min(V_{i-1})`` -- i.e. the previous
+        dominator set plus the previous minimum set (Equation 11).
+        """
+        doms = self.dominator_sets()
+        mins = self.minimum_sets()
+        reuse: list[set[Vertex]] = [set()]
+        for i in range(1, self.h):
+            available = set(doms[i - 1]) | set(mins[i - 1]) | set(self.subcomputations[i - 1])
+            reuse.append(doms[i] & available)
+        return reuse
+
+    def store_sets(self) -> list[set[Vertex]]:
+        """Store sets ``W_{B,i}``: minimum-set vertices not consumed by the next subset.
+
+        A vertex of ``Min(V_i)`` whose children all lie outside ``V_{i+1}``
+        cannot stay in fast memory indefinitely (its children are pebbled much
+        later), so it must be written back -- this is Equation (20).
+        The last subcomputation stores all of its minimum set that are outputs.
+        """
+        mins = self.minimum_sets()
+        stores: list[set[Vertex]] = []
+        outputs = self.cdag.outputs
+        for i in range(self.h):
+            if i + 1 < self.h:
+                next_needed = dominator_set(self.cdag, self.subcomputations[i + 1])
+                stores.append({v for v in mins[i] if v not in next_needed})
+            else:
+                stores.append({v for v in mins[i] if v in outputs})
+        return stores

@@ -1,0 +1,23 @@
+"""Sequential MMM kernels executed against the two-level memory hierarchy.
+
+These kernels compute real numerical products with numpy while *simultaneously*
+simulating their slow-memory traffic on a
+:class:`~repro.machine.memory.MemoryHierarchy` (explicit management, i.e. a
+pebbling) or an :class:`~repro.machine.memory.LRUCacheMemory` (hardware-like
+cache).  They are the executable counterpart of Listing 1 and back the
+sequential I/O experiments (Theorem 1 benchmarks).
+"""
+
+from repro.sequential.kernels import (
+    TiledRunResult,
+    naive_multiply_lru,
+    rank1_multiply,
+    tiled_multiply,
+)
+
+__all__ = [
+    "naive_multiply_lru",
+    "rank1_multiply",
+    "tiled_multiply",
+    "TiledRunResult",
+]

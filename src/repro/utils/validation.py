@@ -1,0 +1,54 @@
+"""Argument validation helpers.
+
+The public API of the library validates its inputs eagerly so that user errors
+surface as clear ``ValueError``/``TypeError`` messages instead of as confusing
+failures deep inside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``.
+
+    numpy integer scalars are accepted (and converted) because workload
+    generators frequently produce them.
+    """
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        raise TypeError(f"{name} must be an integer, got {value!r}") from exc
+    if isinstance(value, float) and not value.is_integer():
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    if as_int <= 0:
+        raise ValueError(f"{name} must be positive, got {as_int}")
+    return as_int
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        raise TypeError(f"{name} must be an integer, got {value!r}") from exc
+    if isinstance(value, float) and not value.is_integer():
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    if as_int < 0:
+        raise ValueError(f"{name} must be non-negative, got {as_int}")
+    return as_int
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as ``float``."""
+    as_float = float(value)
+    if not 0.0 <= as_float <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {as_float}")
+    return as_float

@@ -1,0 +1,29 @@
+"""Workload generators: matrix shapes and scaling scenarios of section 8."""
+
+from repro.workloads.shapes import (
+    ProblemShape,
+    flat_shape,
+    large_k_shape,
+    large_m_shape,
+    rpa_water_shape,
+    square_shape,
+)
+from repro.workloads.scaling import (
+    Scenario,
+    extra_memory_sweep,
+    limited_memory_sweep,
+    strong_scaling_sweep,
+)
+
+__all__ = [
+    "ProblemShape",
+    "square_shape",
+    "large_k_shape",
+    "large_m_shape",
+    "flat_shape",
+    "rpa_water_shape",
+    "Scenario",
+    "strong_scaling_sweep",
+    "limited_memory_sweep",
+    "extra_memory_sweep",
+]

@@ -1,0 +1,167 @@
+"""Scaling scenarios: strong scaling, "limited memory" and "extra memory" (section 8).
+
+The paper benchmarks every matrix shape in three regimes:
+
+* **strong scaling** -- the problem size is fixed and the core count grows;
+* **limited memory** -- the per-core input size is fixed at the memory size
+  (``p S / I = const`` with ``I = mn + mk + nk``), so no redundant copies of
+  the inputs fit anywhere;
+* **extra memory** -- ``p^{2/3} S / I = const``, so roughly ``p^{1/3}`` extra
+  copies of the inputs fit in aggregate memory and 3D-style replication pays
+  off.
+
+The simulator runs at laptop scale, so the sweeps keep the *regime
+definitions* but scale the absolute sizes down: dimensions are derived from
+the target footprint ``p S`` (or ``p^{2/3} S``) exactly as the paper derives
+its dimensions from Piz Daint's per-core memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.validation import check_positive_int
+from repro.workloads.shapes import ProblemShape
+
+#: Aspect ratio used for largeK / largeM / flat shapes at the baseline scale:
+#: the long dimension is ``_ASPECT`` times the short one at p = 1.
+_ASPECT = 16
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark point: a shape, a processor count and a memory size."""
+
+    name: str
+    shape: ProblemShape
+    p: int
+    memory_words: int
+    regime: str
+
+    @property
+    def aggregate_memory(self) -> int:
+        return self.p * self.memory_words
+
+    @property
+    def memory_ratio(self) -> float:
+        """Aggregate memory divided by the input footprint (>= 1 for feasible runs)."""
+        return self.aggregate_memory / self.shape.footprint_words
+
+
+def _shape_for_footprint(family: str, footprint: float) -> ProblemShape:
+    """Derive a shape of the given family whose footprint is ~``footprint`` words."""
+    if footprint < 12:
+        footprint = 12.0
+    if family == "square":
+        n = max(2, int(math.sqrt(footprint / 3.0)))
+        return ProblemShape(m=n, n=n, k=n, family="square")
+    if family == "largeK":
+        # m = n, k = _ASPECT * m at this footprint: I = m^2 + 2 m k = (1 + 2A) m^2.
+        m = max(2, int(math.sqrt(footprint / (1.0 + 2.0 * _ASPECT))))
+        return ProblemShape(m=m, n=m, k=_ASPECT * m, family="largeK")
+    if family == "largeM":
+        n = max(2, int(math.sqrt(footprint / (1.0 + 2.0 * _ASPECT))))
+        return ProblemShape(m=_ASPECT * n, n=n, k=n, family="largeM")
+    if family == "flat":
+        m = max(2, int(math.sqrt(footprint / (1.0 + 2.0 / _ASPECT))))
+        k = max(2, m // _ASPECT)
+        return ProblemShape(m=m, n=m, k=k, family="flat")
+    raise ValueError(f"unknown shape family {family!r}")
+
+
+def strong_scaling_sweep(
+    shape: ProblemShape,
+    p_values: Sequence[int],
+    memory_words: int | None = None,
+) -> list[Scenario]:
+    """Fixed problem, growing core count.
+
+    ``memory_words`` defaults to twice the per-core footprint at the smallest
+    core count, so the smallest runs are memory-tight and the largest have
+    plenty of spare memory -- the same situation as the paper's strong-scaling
+    experiments.
+    """
+    if not p_values:
+        raise ValueError("p_values must not be empty")
+    p_values = [check_positive_int(p, "p") for p in p_values]
+    if memory_words is None:
+        memory_words = max(16, 2 * shape.footprint_words // min(p_values))
+    return [
+        Scenario(
+            name=f"{shape.family}-strong-p{p}",
+            shape=shape,
+            p=p,
+            memory_words=memory_words,
+            regime="strong",
+        )
+        for p in p_values
+    ]
+
+
+def limited_memory_sweep(
+    family: str,
+    p_values: Sequence[int],
+    memory_words: int,
+) -> list[Scenario]:
+    """Weak scaling at constant per-core input size ``p S / I = const ~ 1``.
+
+    The footprint is kept at ``~ p S / 2`` so the inputs fill half the
+    aggregate memory -- matrices barely fit and no input replication is
+    possible, the "limited memory" regime.
+    """
+    memory_words = check_positive_int(memory_words, "memory_words")
+    scenarios = []
+    for p in p_values:
+        p = check_positive_int(p, "p")
+        shape = _shape_for_footprint(family, p * memory_words / 2.0)
+        scenarios.append(
+            Scenario(
+                name=f"{family}-limited-p{p}",
+                shape=shape,
+                p=p,
+                memory_words=memory_words,
+                regime="limited",
+            )
+        )
+    return scenarios
+
+
+def extra_memory_sweep(
+    family: str,
+    p_values: Sequence[int],
+    memory_words: int,
+) -> list[Scenario]:
+    """Weak scaling at ``p^{2/3} S / I = const``: ~``p^{1/3}`` extra copies fit."""
+    memory_words = check_positive_int(memory_words, "memory_words")
+    scenarios = []
+    for p in p_values:
+        p = check_positive_int(p, "p")
+        shape = _shape_for_footprint(family, (p ** (2.0 / 3.0)) * memory_words / 2.0)
+        scenarios.append(
+            Scenario(
+                name=f"{family}-extra-p{p}",
+                shape=shape,
+                p=p,
+                memory_words=memory_words,
+                regime="extra",
+            )
+        )
+    return scenarios
+
+
+def all_regime_sweeps(
+    family: str,
+    p_values: Sequence[int],
+    memory_words: int,
+    strong_shape: ProblemShape | None = None,
+) -> dict[str, list[Scenario]]:
+    """Convenience bundle of the three regimes for one shape family."""
+    if strong_shape is None:
+        strong_shape = _shape_for_footprint(family, max(p_values) * memory_words / 2.0)
+    return {
+        "strong": strong_scaling_sweep(strong_shape, p_values, memory_words=memory_words),
+        "limited": limited_memory_sweep(family, p_values, memory_words),
+        "extra": extra_memory_sweep(family, p_values, memory_words),
+    }

@@ -1,0 +1,105 @@
+"""Matrix shapes used in the paper's evaluation (section 8).
+
+Four shape families are benchmarked:
+
+* **square** -- ``m = n = k``;
+* **largeK** -- ``m = n << k`` ("tall-and-skinny" inputs, e.g. the RPA
+  application);
+* **largeM** -- ``m >> n = k`` (the symmetric case);
+* **flat** -- ``m = n >> k`` (rank-k updates as they appear in factorizations).
+
+The RPA (random-phase approximation) application sizes follow the paper:
+for ``w`` water molecules ``m = n = 136 w`` and ``k = 228 w^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ProblemShape:
+    """A matrix-multiplication problem instance ``C(m x n) = A(m x k) B(k x n)``."""
+
+    m: int
+    n: int
+    k: int
+    family: str = "custom"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.m, "m")
+        check_positive_int(self.n, "n")
+        check_positive_int(self.k, "k")
+
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations ``2 m n k``."""
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def multiplications(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def footprint_words(self) -> int:
+        """Words needed to store A, B and C once: ``mn + mk + nk``."""
+        return self.m * self.n + self.m * self.k + self.n * self.k
+
+    def scaled(self, factor: float) -> "ProblemShape":
+        """Return a shape with every dimension scaled by ``factor`` (min 1)."""
+        return ProblemShape(
+            m=max(1, int(round(self.m * factor))),
+            n=max(1, int(round(self.n * factor))),
+            k=max(1, int(round(self.k * factor))),
+            family=self.family,
+        )
+
+    def random_matrices(self, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Generate reproducible random input matrices for this shape."""
+        rng = np.random.default_rng(seed)
+        a_matrix = rng.standard_normal((self.m, self.k))
+        b_matrix = rng.standard_normal((self.k, self.n))
+        return a_matrix, b_matrix
+
+
+def square_shape(n: int) -> ProblemShape:
+    """``m = n = k``."""
+    n = check_positive_int(n, "n")
+    return ProblemShape(m=n, n=n, k=n, family="square")
+
+
+def large_k_shape(mn: int, k: int) -> ProblemShape:
+    """``m = n = mn`` with a much larger ``k`` ("tall-and-skinny" inputs)."""
+    mn = check_positive_int(mn, "mn")
+    k = check_positive_int(k, "k")
+    return ProblemShape(m=mn, n=mn, k=k, family="largeK")
+
+
+def large_m_shape(m: int, nk: int) -> ProblemShape:
+    """``n = k = nk`` with a much larger ``m``."""
+    m = check_positive_int(m, "m")
+    nk = check_positive_int(nk, "nk")
+    return ProblemShape(m=m, n=nk, k=nk, family="largeM")
+
+
+def flat_shape(mn: int, k: int) -> ProblemShape:
+    """``m = n = mn`` with a much smaller ``k`` (rank-k update)."""
+    mn = check_positive_int(mn, "mn")
+    k = check_positive_int(k, "k")
+    return ProblemShape(m=mn, n=mn, k=k, family="flat")
+
+
+def rpa_water_shape(molecules: int, scale: float = 1.0) -> ProblemShape:
+    """The RPA water-molecule benchmark shape: ``m = n = 136 w``, ``k = 228 w^2``.
+
+    ``scale`` proportionally shrinks the dimensions so the shape can be run on
+    the simulator (the paper uses ``w = 128``, i.e. ``k`` of 3.7 million).
+    """
+    molecules = check_positive_int(molecules, "molecules")
+    m = max(1, int(round(136 * molecules * scale)))
+    k = max(1, int(round(228 * molecules * molecules * scale)))
+    return ProblemShape(m=m, n=m, k=k, family="largeK")

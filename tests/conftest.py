@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrices(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A small rectangular pair (A: 24x18, B: 18x30)."""
+    return rng.standard_normal((24, 18)), rng.standard_normal((18, 30))
+
+
+@pytest.fixture
+def square_matrices(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A square pair (32x32)."""
+    return rng.standard_normal((32, 32)), rng.standard_normal((32, 32))

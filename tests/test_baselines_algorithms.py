@@ -1,0 +1,240 @@
+"""Tests for the baseline algorithm executors (Cannon, SUMMA, 2.5D, CARMA, cuboid)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cannon import cannon_multiply
+from repro.baselines.carma import carma_domains, carma_multiply, largest_power_of_two_at_most
+from repro.baselines.cuboid import CuboidDomain, cuboid_multiply, validate_domains
+from repro.baselines.grid25d import choose_25d_grid, grid25d_multiply
+from repro.baselines.summa import choose_2d_grid, summa_multiply
+from repro.machine.simulator import DistributedMachine
+
+
+class TestCannon:
+    @pytest.mark.parametrize("p", [1, 4, 9, 16])
+    def test_matches_numpy(self, rng, p):
+        a = rng.standard_normal((18, 12))
+        b = rng.standard_normal((12, 24))
+        result = cannon_multiply(a, b, p)
+        assert np.allclose(result.matrix, a @ b)
+        assert result.grid_size ** 2 <= p
+
+    def test_uses_largest_square_grid(self, rng):
+        a = rng.standard_normal((12, 12))
+        b = rng.standard_normal((12, 12))
+        result = cannon_multiply(a, b, 10)
+        assert result.grid_size == 3
+
+    def test_nondivisible_dimensions_padded(self, rng):
+        a = rng.standard_normal((13, 11))
+        b = rng.standard_normal((11, 7))
+        result = cannon_multiply(a, b, 4)
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_single_rank_no_communication(self, rng):
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        result = cannon_multiply(a, b, 1)
+        assert result.counters.total_words_sent == 0
+
+    def test_volume_close_to_2d_formula(self, rng):
+        m = n = k = 32
+        p = 16
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        result = cannon_multiply(a, b, p)
+        # Received words per rank ~ k(m+n)/sqrt(p) (plus the skew shifts).
+        expected = k * (m + n) / np.sqrt(p)
+        measured = result.counters.mean_received_per_rank()
+        assert 0.5 * expected <= measured <= 2.0 * expected
+
+    def test_skew_disabled_reduces_volume(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        with_skew = cannon_multiply(a, b, 16, skew=True)
+        without = cannon_multiply(a, b, 16, skew=False)
+        assert without.counters.total_words_sent < with_skew.counters.total_words_sent
+
+
+class TestSumma:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6, 12])
+    def test_matches_numpy(self, rng, p):
+        a = rng.standard_normal((18, 15))
+        b = rng.standard_normal((15, 24))
+        result = summa_multiply(a, b, p)
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_grid_uses_all_ranks(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        result = summa_multiply(a, b, 6)
+        pm, pn = result.grid
+        assert pm * pn == 6
+
+    def test_choose_grid_matches_aspect_ratio(self):
+        pm, pn = choose_2d_grid(1000, 10, 16)
+        assert pm > pn
+
+    def test_explicit_grid(self, rng):
+        a = rng.standard_normal((12, 8))
+        b = rng.standard_normal((8, 12))
+        result = summa_multiply(a, b, 4, grid=(4, 1))
+        assert result.grid == (4, 1)
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_oversized_grid_rejected(self, rng):
+        with pytest.raises(ValueError):
+            summa_multiply(rng.standard_normal((8, 8)), rng.standard_normal((8, 8)), 2, grid=(2, 2))
+
+    def test_panel_width_affects_rounds_not_volume(self, rng):
+        a = rng.standard_normal((16, 32))
+        b = rng.standard_normal((32, 16))
+        wide = summa_multiply(a, b, 4, panel_width=16)
+        narrow = summa_multiply(a, b, 4, panel_width=4)
+        assert np.allclose(wide.matrix, narrow.matrix)
+        assert wide.counters.total_words_sent == narrow.counters.total_words_sent
+        assert narrow.counters.max_rounds() > wide.counters.max_rounds()
+
+    def test_volume_independent_of_memory_size(self, rng):
+        """The defining weakness of 2D algorithms: extra memory does not help."""
+        a = rng.standard_normal((24, 24))
+        b = rng.standard_normal((24, 24))
+        small = summa_multiply(a, b, 4, memory_words=512)
+        large = summa_multiply(a, b, 4, memory_words=1 << 20)
+        assert small.counters.total_words_sent == large.counters.total_words_sent
+
+
+class Test25D:
+    @pytest.mark.parametrize("p", [1, 4, 8, 16])
+    def test_matches_numpy(self, rng, p):
+        a = rng.standard_normal((16, 20))
+        b = rng.standard_normal((20, 12))
+        result = grid25d_multiply(a, b, p, memory_words=4096)
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_replication_grows_with_memory(self):
+        lean = choose_25d_grid(64, 64, 64, 16, memory_words=512)
+        rich = choose_25d_grid(64, 64, 64, 16, memory_words=1 << 16)
+        assert rich[2] >= lean[2]
+
+    def test_grid_is_square_layer(self):
+        q, q2, c = choose_25d_grid(128, 128, 128, 32, memory_words=4096)
+        assert q == q2
+        assert q * q * c <= 32
+
+    def test_extra_memory_reduces_volume(self, rng):
+        m = n = k = 32
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        lean = grid25d_multiply(a, b, 16, memory_words=300, grid=(4, 4, 1))
+        rich = grid25d_multiply(a, b, 16, memory_words=1 << 16, grid=(2, 2, 4))
+        assert rich.counters.mean_received_per_rank() < lean.counters.mean_received_per_rank()
+
+    def test_explicit_grid_too_large_rejected(self, rng):
+        with pytest.raises(ValueError):
+            grid25d_multiply(
+                rng.standard_normal((8, 8)), rng.standard_normal((8, 8)), 4, 1024, grid=(2, 2, 2)
+            )
+
+
+class TestCuboid:
+    def test_single_domain(self, rng):
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 5))
+        domains = [CuboidDomain(rank=0, i_range=(0, 6), j_range=(0, 5), k_range=(0, 4))]
+        result = cuboid_multiply(a, b, domains)
+        assert np.allclose(result.matrix, a @ b)
+        assert result.counters.total_words_sent == 0
+
+    def test_k_split_requires_reduction(self, rng):
+        a = rng.standard_normal((6, 8))
+        b = rng.standard_normal((8, 6))
+        domains = [
+            CuboidDomain(rank=0, i_range=(0, 6), j_range=(0, 6), k_range=(0, 4)),
+            CuboidDomain(rank=1, i_range=(0, 6), j_range=(0, 6), k_range=(4, 8)),
+        ]
+        result = cuboid_multiply(a, b, domains)
+        assert np.allclose(result.matrix, a @ b)
+        # One 6x6 partial result must travel to the owner.
+        assert result.counters.total_words_sent == 36
+
+    def test_j_split_replicates_a(self, rng):
+        a = rng.standard_normal((6, 8))
+        b = rng.standard_normal((8, 6))
+        domains = [
+            CuboidDomain(rank=0, i_range=(0, 6), j_range=(0, 3), k_range=(0, 8)),
+            CuboidDomain(rank=1, i_range=(0, 6), j_range=(3, 6), k_range=(0, 8)),
+        ]
+        result = cuboid_multiply(a, b, domains)
+        assert np.allclose(result.matrix, a @ b)
+        # The 6x8 block of A is needed by both ranks but stored once.
+        assert result.counters.total_words_sent == 48
+
+    def test_validate_rejects_non_tiling(self):
+        with pytest.raises(ValueError):
+            validate_domains(
+                4, 4, 4, [CuboidDomain(rank=0, i_range=(0, 4), j_range=(0, 4), k_range=(0, 2))]
+            )
+
+    def test_validate_rejects_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            validate_domains(
+                4, 4, 4, [CuboidDomain(rank=0, i_range=(0, 5), j_range=(0, 4), k_range=(0, 4))]
+            )
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cuboid_multiply(rng.standard_normal((4, 3)), rng.standard_normal((4, 4)), [])
+
+
+class TestCarma:
+    def test_power_of_two_helper(self):
+        assert largest_power_of_two_at_most(1) == 1
+        assert largest_power_of_two_at_most(2) == 2
+        assert largest_power_of_two_at_most(63) == 32
+        assert largest_power_of_two_at_most(64) == 64
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_matches_numpy(self, rng, p):
+        a = rng.standard_normal((16, 20))
+        b = rng.standard_normal((20, 12))
+        result = carma_multiply(a, b, p)
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_non_power_of_two_rounds_down(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        result = carma_multiply(a, b, 12)
+        assert result.p_used == 8
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_domains_tile_iteration_space(self):
+        domains = carma_domains(16, 24, 32, 8)
+        validate_domains(16, 24, 32, domains)
+
+    def test_domains_are_near_cubic(self):
+        # CARMA guarantees the longest side is at most twice the shortest
+        # (for divisible dimensions).
+        domains = carma_domains(64, 64, 64, 64)
+        for domain in domains:
+            lm, ln, lk = domain.shape
+            assert max(lm, ln, lk) <= 2 * min(lm, ln, lk)
+
+    def test_splits_largest_dimension_first(self):
+        domains = carma_domains(4, 4, 1024, 2)
+        # With k dominating, the first split must divide k.
+        assert all(d.shape[2] == 512 for d in domains)
+
+    def test_tall_matrix_correctness(self, rng):
+        a = rng.standard_normal((4, 128))
+        b = rng.standard_normal((128, 4))
+        result = carma_multiply(a, b, 8)
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_uses_supplied_machine(self, rng):
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        machine = DistributedMachine(4, memory_words=1 << 16)
+        result = carma_multiply(a, b, 4, machine=machine)
+        assert result.counters is machine.counters

@@ -1,0 +1,142 @@
+"""Tests for the analytic Table 3 cost formulas."""
+
+import math
+
+import pytest
+
+from repro.baselines.costs import (
+    evolution_table,
+    io_cost_25d,
+    io_cost_2d,
+    io_cost_3d,
+    io_cost_carma,
+    io_cost_cosma,
+    io_cost_naive_1d,
+    latency_cost_25d,
+    latency_cost_2d,
+    latency_cost_carma,
+    latency_cost_cosma,
+    replication_factor_25d,
+)
+
+
+class Test2D:
+    def test_square_case_matches_table3(self):
+        """Table 3, square matrices: the leading term of Q_2D is 2 n^2 / sqrt(p)."""
+        n, p = 4096, 64
+        expected_leading = 2 * n * n / math.sqrt(p)
+        assert io_cost_2d(n, n, n, p) == pytest.approx(expected_leading, rel=0.07)
+        # And the paper's full special-case expression agrees within 10%.
+        assert io_cost_2d(n, n, n, p) == pytest.approx(2 * n * n * (math.sqrt(p) + 1) / p, rel=0.1)
+
+    def test_independent_of_memory(self):
+        # The 2D cost formula ignores extra memory: same value for any S.
+        assert io_cost_2d(512, 512, 512, 16) == io_cost_2d(512, 512, 512, 16)
+
+    def test_latency_grows_with_k(self):
+        assert latency_cost_2d(64, 64, 4096, 16) > latency_cost_2d(64, 64, 64, 16)
+
+
+class Test25D:
+    def test_replication_factor_clamped(self):
+        c = replication_factor_25d(4096, 4096, 4096, 64, 16)
+        assert c == 1.0
+        c_big = replication_factor_25d(64, 64, 64, 512, 1 << 24)
+        assert c_big == pytest.approx(512 ** (1 / 3))
+
+    def test_reduces_to_2d_without_extra_memory(self):
+        m = n = k = 4096
+        p = 64
+        s = int((m * k + n * k) / p)  # c = 1
+        assert io_cost_25d(m, n, k, p, s) == pytest.approx(
+            k * (m + n) / math.sqrt(p) + m * n / p, rel=0.01
+        )
+
+    def test_beats_2d_with_extra_memory(self):
+        m = n = k = 4096
+        p = 512
+        s = 8 * (m * k + n * k) // p  # room for c = 8 copies
+        assert io_cost_25d(m, n, k, p, s) < io_cost_2d(m, n, k, p)
+
+    def test_3d_is_25d_with_max_replication(self):
+        m = n = k = 4096
+        p = 512
+        huge_s = 1 << 40
+        assert io_cost_3d(m, n, k, p) == pytest.approx(io_cost_25d(m, n, k, p, huge_s), rel=0.01)
+
+    def test_latency_positive(self):
+        assert latency_cost_25d(4096, 4096, 4096, 64, 1 << 20) > 0
+
+
+class TestCarma:
+    def test_limited_memory_sqrt3_factor(self):
+        """Section 6.2: CARMA's cubic domains cost ~sqrt(3) more than COSMA in the
+        limited-memory regime (leading term)."""
+        m = n = k = 8192
+        p = 512
+        s = (m * n + m * k + n * k) // p  # barely feasible: limited memory
+        carma = io_cost_carma(m, n, k, p, s)
+        cosma = io_cost_cosma(m, n, k, p, s)
+        ratio = carma / cosma
+        assert 1.2 < ratio < 2.1
+
+    def test_extra_memory_close_to_cosma(self):
+        m = n = k = 512
+        p = 512
+        s = 1 << 22
+        ratio = io_cost_carma(m, n, k, p, s) / io_cost_cosma(m, n, k, p, s)
+        assert ratio == pytest.approx(1.0, rel=0.01)
+
+    def test_latency_positive(self):
+        assert latency_cost_carma(4096, 4096, 4096, 64, 1 << 20) > 0
+
+
+class TestCosmaCost:
+    def test_never_worse_than_2d(self):
+        m = n = k = 2048
+        footprint = m * n + m * k + n * k
+        for p in [16, 64, 256]:
+            for factor in [1, 4, 16]:
+                s = factor * footprint // p  # always feasible: p S >= footprint
+                assert io_cost_cosma(m, n, k, p, s) <= io_cost_2d(m, n, k, p) * 1.01
+
+    def test_never_worse_than_25d(self):
+        for p in [16, 64, 256]:
+            m = n = k = 2048
+            s = 4 * (m * k + n * k) // p
+            assert io_cost_cosma(m, n, k, p, s) <= io_cost_25d(m, n, k, p, s) * 1.01
+
+    def test_never_worse_than_carma(self):
+        for p in [16, 64, 256]:
+            m, n, k = 256, 256, 65536
+            s = 2 * (m * n + m * k + n * k) // p
+            assert io_cost_cosma(m, n, k, p, s) <= io_cost_carma(m, n, k, p, s) * 1.01
+
+    def test_tall_matrix_advantage_over_2d(self):
+        """Table 3 "tall" case: 2D pays O(sqrt(p)) more than COSMA."""
+        p = 4096
+        m = n = int(math.sqrt(p))
+        k = int(p ** 1.5 / 4)
+        s = 2 * n * k // int(p ** (2 / 3))
+        ratio = io_cost_2d(m, n, k, p) / io_cost_cosma(m, n, k, p, s)
+        assert ratio > math.sqrt(p) / 4
+
+    def test_latency_cosma_positive(self):
+        assert latency_cost_cosma(4096, 4096, 4096, 64, 1 << 20) >= 1
+
+
+class TestEvolution:
+    def test_table_ordering_reflects_history(self):
+        """Figure 2: the lineage naive -> 2D -> 2.5D -> CARMA -> COSMA is non-increasing."""
+        m = n = k = 4096
+        p = 512
+        s = 4 * (m * k + n * k) // p
+        table = evolution_table(m, n, k, p, s)
+        assert table["naive-1D"] >= table["Cannon-2D"]
+        assert table["Cannon-2D"] >= table["2.5D"] * 0.99
+        assert table["2.5D"] >= table["COSMA"] * 0.99
+        assert table["CARMA-recursive"] >= table["COSMA"] * 0.99
+        assert table["COSMA"] == pytest.approx(table["lower-bound"])
+
+    def test_naive_1d_needs_all_of_b(self):
+        assert io_cost_naive_1d(64, 64, 64, 8) >= 64 * 64

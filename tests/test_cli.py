@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMultiplyCommand:
+    def test_runs_and_verifies(self, capsys):
+        code = main(["multiply", "--m", "32", "--n", "24", "--k", "16", "--processors", "4", "--memory", "2048"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified against numpy: OK" in out
+        assert "processor grid" in out
+
+    def test_reports_bound(self, capsys):
+        main(["multiply", "--m", "16", "--n", "16", "--k", "16", "--processors", "2", "--memory", "1024"])
+        out = capsys.readouterr().out
+        assert "Theorem 2 bound" in out
+
+
+class TestCompareCommand:
+    def test_limited_regime(self, capsys):
+        code = main(["compare", "--family", "square", "--regime", "limited", "--processors", "4", "9", "--memory", "1024"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "COSMA words/rank" in out
+        assert "all runs verified against numpy: OK" in out
+
+    def test_subset_of_algorithms(self, capsys):
+        code = main([
+            "compare", "--family", "largeK", "--regime", "extra",
+            "--processors", "4", "--memory", "1024",
+            "--algorithms", "COSMA", "CARMA",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CARMA" in out
+        assert "ScaLAPACK" not in out
+
+
+class TestBoundsCommand:
+    def test_prints_all_rows(self, capsys):
+        code = main(["bounds", "--m", "256", "--n", "256", "--k", "256", "--processors", "16", "--memory", "4096"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for label in ("Theorem 1", "Theorem 2", "2D", "2.5D", "CARMA", "COSMA"):
+            assert label in out
+
+
+class TestGridCommand:
+    def test_figure5_case(self, capsys):
+        code = main(["grid", "--m", "4096", "--n", "4096", "--k", "4096", "--processors", "65"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(4, 4, 4)" in out
+        assert "1 idle" in out
+
+    def test_memory_aware(self, capsys):
+        code = main([
+            "grid", "--m", "64", "--n", "64", "--k", "256", "--processors", "4", "--memory", "2048",
+        ])
+        assert code == 0
+        assert "fitted grid" in capsys.readouterr().out
+
+
+class TestSequentialCommand:
+    def test_reports_ratio(self, capsys):
+        code = main(["sequential", "--size", "16", "--memory", "32", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lower bound" in out
+        assert "numerics verified: OK" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_required_argument(self):
+        with pytest.raises(SystemExit):
+            main(["bounds", "--m", "8"])

@@ -1,0 +1,127 @@
+"""Tests for processor-grid fitting (FitRanks, section 7.1)."""
+
+import pytest
+
+from repro.core.grid import (
+    ProcessorGrid,
+    candidate_grids,
+    communication_volume_per_rank,
+    computation_per_rank,
+    fit_ranks,
+)
+
+
+class TestProcessorGrid:
+    def test_p_used(self):
+        assert ProcessorGrid(2, 3, 4).p_used == 24
+
+    def test_local_extents_round_up(self):
+        grid = ProcessorGrid(3, 2, 1)
+        assert grid.local_extents(10, 10, 7) == (4, 5, 7)
+
+    def test_iterable(self):
+        pm, pn, pk = ProcessorGrid(2, 3, 4)
+        assert (pm, pn, pk) == (2, 3, 4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid(0, 1, 1)
+
+
+class TestCostModel:
+    def test_no_communication_on_single_rank(self):
+        grid = ProcessorGrid(1, 1, 1)
+        assert communication_volume_per_rank(grid, 64, 64, 64) == 0.0
+
+    def test_2d_grid_has_no_c_reduction(self):
+        grid = ProcessorGrid(4, 4, 1)
+        volume = communication_volume_per_rank(grid, 64, 64, 64)
+        # Only A and B panels are fetched.
+        assert volume == pytest.approx(16 * 64 * 3 / 4 * 2)
+
+    def test_k_parallel_grid_pays_for_reduction(self):
+        flat = ProcessorGrid(4, 4, 1)
+        deep = ProcessorGrid(4, 4, 2)
+        m = n = k = 64
+        assert communication_volume_per_rank(deep, m, n, k) != communication_volume_per_rank(
+            flat, m, n, k
+        )
+
+    def test_computation_per_rank(self):
+        grid = ProcessorGrid(2, 2, 2)
+        assert computation_per_rank(grid, 8, 8, 8) == 4 * 4 * 4
+
+
+class TestCandidateGrids:
+    def test_respects_dimension_caps(self):
+        grids = candidate_grids(8, m=2, n=100, k=100)
+        assert all(g.pm <= 2 for g in grids)
+
+    def test_all_use_exact_p(self):
+        for grid in candidate_grids(12, 100, 100, 100):
+            assert grid.p_used == 12
+
+    def test_empty_when_p_exceeds_all_dims(self):
+        assert candidate_grids(1000, 2, 2, 2) == []
+
+
+class TestFitRanks:
+    def test_perfect_cube(self):
+        fit = fit_ranks(64, 64, 64, 64, max_idle_fraction=0.0)
+        assert fit.grid.p_used == 64
+        assert fit.idle_ranks == 0
+
+    def test_figure5_square_65_ranks_drops_one(self):
+        """Figure 5: with p=65 and square matrices, dropping one rank to get a
+        4x4x4 grid cuts communication by roughly a third."""
+        fit = fit_ranks(4096, 4096, 4096, 65, max_idle_fraction=0.03)
+        assert fit.grid.as_tuple() == (4, 4, 4)
+        assert fit.idle_ranks == 1
+        # Compare against the best 65-rank grid.
+        best_65 = min(
+            (communication_volume_per_rank(g, 4096, 4096, 4096) for g in candidate_grids(65, 4096, 4096, 4096)),
+        )
+        reduction = 1.0 - fit.communication_per_rank / best_65
+        assert reduction > 0.25
+
+    def test_no_drop_allowed_uses_all_ranks(self):
+        fit = fit_ranks(4096, 4096, 4096, 65, max_idle_fraction=0.0)
+        assert fit.grid.p_used == 65
+
+    def test_idle_fraction_respected(self):
+        fit = fit_ranks(512, 512, 512, 100, max_idle_fraction=0.05)
+        assert fit.idle_fraction <= 0.05 + 1e-9
+
+    def test_unfavorable_prime_p(self):
+        """Section 9: adding one core to a nice decomposition should not hurt.
+
+        With p=9217 = 13 x 709 the only exact grids are terrible; the fitter
+        must fall back to (nearly) the p=9216 decomposition.
+        """
+        fit_nice = fit_ranks(512, 512, 512, 128, max_idle_fraction=0.03)
+        fit_prime = fit_ranks(512, 512, 512, 131, max_idle_fraction=0.03)  # 131 is prime
+        assert fit_prime.communication_per_rank <= fit_nice.communication_per_rank * 1.10
+
+    def test_tall_matrix_parallelizes_along_k(self):
+        # m = n = 32, k = 16384: the only way to use 64 ranks effectively is to
+        # split the k dimension.
+        fit = fit_ranks(32, 32, 16384, 64, max_idle_fraction=0.03)
+        assert fit.grid.pk > 1
+
+    def test_flat_matrix_avoids_k_split(self):
+        # m = n = 4096, k = 16: splitting k would force a pointless C reduction.
+        fit = fit_ranks(4096, 4096, 16, 64, max_idle_fraction=0.03)
+        assert fit.grid.pk == 1
+
+    def test_single_rank_fallback(self):
+        fit = fit_ranks(2, 2, 2, 1000, max_idle_fraction=0.0)
+        assert fit.grid.p_used <= 8
+
+    def test_communication_decreases_or_equal_with_idle_allowance(self):
+        strict = fit_ranks(300, 300, 300, 97, max_idle_fraction=0.0)
+        relaxed = fit_ranks(300, 300, 300, 97, max_idle_fraction=0.05)
+        assert relaxed.communication_per_rank <= strict.communication_per_rank
+
+    def test_rejects_bad_idle_fraction(self):
+        with pytest.raises(ValueError):
+            fit_ranks(8, 8, 8, 8, max_idle_fraction=1.5)

@@ -1,0 +1,183 @@
+"""Tests for the experiment harness, performance model and reports."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import (
+    ALGORITHMS,
+    DEFAULT_ALGORITHMS,
+    group_by_scenario,
+    run_algorithm,
+    run_scenario,
+    sweep,
+)
+from repro.experiments.perf_model import percent_of_peak, simulated_time, speedup, time_breakdown
+from repro.experiments.report import (
+    breakdown_rows,
+    format_table,
+    geometric_mean,
+    performance_distribution,
+    performance_series,
+    runtime_series,
+    table4_rows,
+    table4_text,
+    volume_series,
+    volume_table,
+)
+from repro.machine.topology import laptop_spec
+from repro.workloads.scaling import Scenario, strong_scaling_sweep
+from repro.workloads.shapes import square_shape
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return Scenario(
+        name="square-strong-p4",
+        shape=square_shape(24),
+        p=4,
+        memory_words=4096,
+        regime="strong",
+    )
+
+
+@pytest.fixture(scope="module")
+def small_runs(small_scenario):
+    return run_scenario(small_scenario, algorithms=DEFAULT_ALGORITHMS, seed=1)
+
+
+class TestHarness:
+    def test_registry_contains_paper_targets(self):
+        assert {"COSMA", "ScaLAPACK", "CTF", "CARMA"} <= set(ALGORITHMS)
+
+    def test_unknown_algorithm_rejected(self, small_scenario):
+        with pytest.raises(KeyError):
+            run_algorithm("MAGMA", small_scenario)
+
+    def test_all_algorithms_correct(self, small_runs):
+        for name, run in small_runs.items():
+            assert run.correct, f"{name} produced a wrong product"
+
+    def test_metrics_populated(self, small_runs):
+        for run in small_runs.values():
+            assert run.mean_words_per_rank >= 0
+            assert run.max_words_per_rank >= run.mean_words_per_rank * 0.99
+            assert run.total_flops > 0
+            assert run.rounds >= 0
+
+    def test_cosma_not_worse_than_others(self, small_runs):
+        cosma = small_runs["COSMA"].mean_received_per_rank
+        for name, run in small_runs.items():
+            if name == "COSMA":
+                continue
+            assert cosma <= run.mean_received_per_rank * 1.3
+
+    def test_sweep_cross_product(self):
+        scenarios = strong_scaling_sweep(square_shape(16), [2, 4], memory_words=4096)
+        runs = sweep(scenarios, algorithms=("COSMA", "CARMA"), verify=False)
+        assert len(runs) == 4
+
+    def test_group_by_scenario(self):
+        scenarios = strong_scaling_sweep(square_shape(16), [2, 4], memory_words=4096)
+        runs = sweep(scenarios, algorithms=("COSMA", "CARMA"), verify=False)
+        grouped = group_by_scenario(runs)
+        assert len(grouped) == 2
+        for by_algo in grouped.values():
+            assert set(by_algo) == {"COSMA", "CARMA"}
+
+
+class TestPerfModel:
+    def test_time_positive(self, small_runs):
+        for run in small_runs.values():
+            assert simulated_time(run) > 0
+
+    def test_overlap_not_slower(self, small_runs):
+        for run in small_runs.values():
+            assert simulated_time(run, overlap=True) <= simulated_time(run, overlap=False) + 1e-12
+
+    def test_percent_of_peak_in_range(self, small_runs):
+        for run in small_runs.values():
+            pct = percent_of_peak(run)
+            assert 0 < pct <= 100.0
+
+    def test_breakdown_components_sum(self, small_runs):
+        for run in small_runs.values():
+            breakdown = time_breakdown(run)
+            assert breakdown.total_no_overlap == pytest.approx(
+                breakdown.computation + breakdown.communication
+            )
+            assert 0 <= breakdown.communication_fraction <= 1
+
+    def test_speedup_of_run_vs_itself_is_one(self, small_runs):
+        run = small_runs["COSMA"]
+        assert speedup(run, run) == pytest.approx(1.0)
+
+    def test_spec_affects_time(self, small_runs):
+        run = small_runs["COSMA"]
+        fast = laptop_spec()
+        assert simulated_time(run, fast) != simulated_time(run)
+
+
+class TestReports:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_volume_series_sorted_by_p(self, small_runs):
+        series = volume_series(small_runs.values())
+        for points in series.values():
+            ps = [p for p, _ in points]
+            assert ps == sorted(ps)
+
+    def test_volume_table_contains_algorithms(self, small_runs):
+        text = volume_table(small_runs.values())
+        for name in DEFAULT_ALGORITHMS:
+            assert name in text
+
+    def test_performance_series_values_bounded(self, small_runs):
+        series = performance_series(small_runs.values())
+        for points in series.values():
+            for _, pct in points:
+                assert 0 < pct <= 100
+
+    def test_runtime_series_positive(self, small_runs):
+        series = runtime_series(small_runs.values())
+        for points in series.values():
+            for _, t in points:
+                assert t > 0
+
+    def test_performance_distribution_summary(self, small_runs):
+        summary = performance_distribution(small_runs.values())
+        for stats in summary.values():
+            assert stats["min"] <= stats["geomean"] * (1 + 1e-12)
+            assert stats["geomean"] <= stats["max"] * (1 + 1e-12)
+
+    def test_table4_rows_have_speedups(self, small_runs):
+        rows = table4_rows({"square-strong": list(small_runs.values())})
+        assert len(rows) == 1
+        row = rows[0]
+        assert "speedup_min" in row
+        assert row["speedup_min"] <= row["speedup_max"]
+        assert not math.isnan(row["speedup_geomean"])
+
+    def test_table4_text_renders(self, small_runs):
+        text = table4_text({"square-strong": list(small_runs.values())})
+        assert "benchmark" in text
+        assert "square-strong" in text
+
+    def test_table4_empty(self):
+        assert table4_text({}) == "(no runs)"
+
+    def test_breakdown_rows(self, small_runs):
+        rows = breakdown_rows(small_runs.values())
+        assert len(rows) == len(small_runs)
+        for row in rows:
+            assert row["total_no_overlap_s"] >= row["total_with_overlap_s"] - 1e-12

@@ -1,0 +1,79 @@
+"""Tests for the ASCII plotting helpers."""
+
+from repro.experiments.plotting import ascii_series_plot, ascii_stacked_bars, sparkline
+
+
+class TestSeriesPlot:
+    def test_contains_all_algorithms_and_points(self):
+        series = {
+            "COSMA": [(4, 1.0), (16, 0.5)],
+            "ScaLAPACK": [(4, 2.0), (16, 1.5)],
+        }
+        text = ascii_series_plot(series, y_label="MB per rank")
+        assert "COSMA" in text and "ScaLAPACK" in text
+        assert "x = 4" in text and "x = 16" in text
+        assert "MB per rank" in text
+
+    def test_larger_value_gets_longer_bar(self):
+        series = {"A": [(1, 1.0)], "B": [(1, 100.0)]}
+        text = ascii_series_plot(series, log_y=False)
+        bar_a = next(line for line in text.splitlines() if line.strip().startswith("A"))
+        bar_b = next(line for line in text.splitlines() if line.strip().startswith("B"))
+        assert bar_b.count("#") > bar_a.count("#")
+
+    def test_log_scaling_compresses(self):
+        series = {"A": [(1, 1.0)], "B": [(1, 1000.0)], "C": [(1, 10.0)]}
+        log_text = ascii_series_plot(series, log_y=True, width=30)
+        lin_text = ascii_series_plot(series, log_y=False, width=30)
+        log_c = next(line for line in log_text.splitlines() if line.strip().startswith("C")).count("#")
+        lin_c = next(line for line in lin_text.splitlines() if line.strip().startswith("C")).count("#")
+        assert log_c > lin_c
+
+    def test_empty_series(self):
+        assert ascii_series_plot({}) == "(no data)"
+        assert ascii_series_plot({"A": []}) == "(no data)"
+
+    def test_constant_series(self):
+        text = ascii_series_plot({"A": [(1, 5.0), (2, 5.0)]})
+        assert "A" in text
+
+
+class TestStackedBars:
+    def test_legend_and_rows(self):
+        rows = [
+            {"label": "p=4", "comm": 1.0, "comp": 3.0},
+            {"label": "p=64", "comm": 2.0, "comp": 1.0},
+        ]
+        text = ascii_stacked_bars(rows, "label", ["comm", "comp"])
+        assert "legend" in text
+        assert "p=4" in text and "p=64" in text
+        assert "=" in text and "~" in text
+
+    def test_bar_lengths_proportional(self):
+        rows = [
+            {"label": "small", "x": 1.0},
+            {"label": "large", "x": 10.0},
+        ]
+        text = ascii_stacked_bars(rows, "label", ["x"], width=20)
+        small = next(line for line in text.splitlines() if line.startswith("small")).count("=")
+        large = next(line for line in text.splitlines() if line.startswith("large")).count("=")
+        assert large > small
+
+    def test_empty(self):
+        assert ascii_stacked_bars([], "label", ["x"]) == "(no data)"
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_input(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_values_monotone_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁"
+        assert line[-1] == "█"

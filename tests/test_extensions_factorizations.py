@@ -1,0 +1,113 @@
+"""Tests for the LU / Cholesky extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.factorizations import (
+    cholesky_io_lower_bound,
+    lu_io_lower_bound,
+    out_of_core_cholesky,
+    parallel_cholesky_cost,
+    parallel_lu_cost,
+)
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestSequentialBounds:
+    def test_lu_double_of_cholesky_leading_term(self):
+        n, s = 1024, 4096
+        lu = lu_io_lower_bound(n, s)
+        chol = cholesky_io_lower_bound(n, s)
+        assert lu / chol == pytest.approx(2.0, rel=0.1)
+
+    def test_bounds_decrease_with_memory(self):
+        assert lu_io_lower_bound(512, 1024) > lu_io_lower_bound(512, 4096)
+        assert cholesky_io_lower_bound(512, 1024) > cholesky_io_lower_bound(512, 4096)
+
+    def test_bounds_grow_cubically(self):
+        small = cholesky_io_lower_bound(128, 256)
+        large = cholesky_io_lower_bound(256, 256)
+        assert large / small == pytest.approx(8.0, rel=0.3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lu_io_lower_bound(0, 16)
+
+
+class TestParallelCosts:
+    def test_lu_update_is_third_of_mmm(self):
+        from repro.pebbling.mmm_bounds import parallel_io_lower_bound
+
+        n, p, s = 4096, 64, 65536
+        cost = parallel_lu_cost(n, p, s)
+        assert cost.update_words == pytest.approx(parallel_io_lower_bound(n, n, n, p, s) / 3)
+
+    def test_cholesky_cheaper_than_lu(self):
+        lu = parallel_lu_cost(4096, 64, 65536)
+        chol = parallel_cholesky_cost(4096, 64, 65536)
+        assert chol.total_words < lu.total_words
+
+    def test_total_includes_panel(self):
+        cost = parallel_lu_cost(1024, 16, 4096)
+        assert cost.total_words == pytest.approx(cost.update_words + cost.panel_words)
+
+    def test_custom_panel_width(self):
+        narrow = parallel_lu_cost(1024, 16, 4096, panel_width=8)
+        wide = parallel_lu_cost(1024, 16, 4096, panel_width=64)
+        assert wide.panel_words > narrow.panel_words
+
+
+class TestOutOfCoreCholesky:
+    @pytest.mark.parametrize("n", [8, 24, 33, 48])
+    def test_matches_numpy(self, n):
+        spd = _spd(n)
+        result = out_of_core_cholesky(spd, memory_words=3 * 8 * 8)
+        assert np.allclose(result.factor, np.linalg.cholesky(spd), atol=1e-8)
+
+    def test_factor_is_lower_triangular(self):
+        result = out_of_core_cholesky(_spd(20), memory_words=192)
+        assert np.allclose(result.factor, np.tril(result.factor))
+
+    def test_reconstructs_input(self):
+        spd = _spd(30)
+        result = out_of_core_cholesky(spd, memory_words=300)
+        assert np.allclose(result.factor @ result.factor.T, spd, atol=1e-7)
+
+    def test_io_counted(self):
+        result = out_of_core_cholesky(_spd(32), memory_words=3 * 8 * 8)
+        # At least every block must be read and written once.
+        assert result.stats.loads >= 32 * 32 / 2
+        assert result.stats.stores >= 32 * 32 / 2
+
+    def test_more_memory_less_io(self):
+        spd = _spd(48)
+        tight = out_of_core_cholesky(spd, memory_words=3 * 6 * 6)
+        roomy = out_of_core_cholesky(spd, memory_words=3 * 24 * 24)
+        assert roomy.io < tight.io
+
+    def test_io_within_factor_of_bound(self):
+        n = 48
+        s = 3 * 12 * 12
+        result = out_of_core_cholesky(_spd(n), memory_words=s)
+        bound = cholesky_io_lower_bound(n, s)
+        assert result.io >= bound * 0.3
+        assert result.io <= bound * 6.0
+
+    def test_block_size_respects_memory(self):
+        result = out_of_core_cholesky(_spd(64), memory_words=3 * 10 * 10)
+        assert 3 * result.block_size ** 2 <= 3 * 10 * 10 + 3
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            out_of_core_cholesky(np.ones((4, 5)), memory_words=64)
+
+    def test_single_block_case(self):
+        spd = _spd(6)
+        result = out_of_core_cholesky(spd, memory_words=3 * 36)
+        assert np.allclose(result.factor, np.linalg.cholesky(spd))
+        assert result.block_size == 6

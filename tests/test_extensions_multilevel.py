@@ -1,0 +1,104 @@
+"""Tests for the multi-level memory hierarchy extension."""
+
+import pytest
+
+from repro.extensions.multilevel import (
+    multilevel_io_lower_bounds,
+    multilevel_schedule,
+    nested_tile_count,
+    simulate_multilevel_io,
+)
+from repro.pebbling.mmm_bounds import sequential_io_lower_bound
+
+
+class TestLowerBounds:
+    def test_one_level_matches_theorem1(self):
+        bounds = multilevel_io_lower_bounds(32, 32, 32, [64])
+        assert bounds == [sequential_io_lower_bound(32, 32, 32, 64)]
+
+    def test_bounds_decrease_with_level_size(self):
+        bounds = multilevel_io_lower_bounds(32, 32, 32, [32, 128, 1024])
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_rejects_unordered_levels(self):
+        with pytest.raises(ValueError):
+            multilevel_io_lower_bounds(16, 16, 16, [128, 64])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            multilevel_io_lower_bounds(16, 16, 16, [])
+
+
+class TestSchedule:
+    def test_tiles_nest(self):
+        schedule = multilevel_schedule(64, 64, 64, [16, 128, 1024])
+        tiles = schedule.tile_sizes()
+        for (inner_m, inner_n), (outer_m, outer_n) in zip(tiles, tiles[1:]):
+            assert inner_m <= outer_m
+            assert inner_n <= outer_n
+
+    def test_levels_ordered_by_index(self):
+        schedule = multilevel_schedule(32, 32, 32, [16, 256])
+        assert [lvl.level for lvl in schedule.levels] == [0, 1]
+
+    def test_predicted_traffic_above_bound(self):
+        schedule = multilevel_schedule(48, 48, 48, [16, 128, 1024])
+        for level in schedule.levels:
+            assert level.predicted_traffic >= level.lower_bound * 0.99
+
+    def test_traffic_decreases_for_larger_levels(self):
+        schedule = multilevel_schedule(48, 48, 48, [16, 128, 1024])
+        predicted = [lvl.predicted_traffic for lvl in schedule.levels]
+        assert predicted[0] >= predicted[1] >= predicted[2]
+
+    def test_tiles_clipped_to_matrix(self):
+        schedule = multilevel_schedule(4, 4, 4, [16, 1 << 20])
+        for level in schedule.levels:
+            assert level.tile_m <= 4
+            assert level.tile_n <= 4
+
+    def test_summary_has_ratio(self):
+        schedule = multilevel_schedule(32, 32, 32, [64, 512])
+        for row in schedule.traffic_summary():
+            assert row["ratio"] >= 0.99
+
+    def test_nested_tile_count(self):
+        schedule = multilevel_schedule(20, 20, 4, [16, 256])
+        assert nested_tile_count(20, 20, schedule) >= 1
+
+    def test_rejects_unordered_capacities(self):
+        with pytest.raises(ValueError):
+            multilevel_schedule(16, 16, 16, [256, 64])
+
+
+class TestSimulation:
+    def test_misses_decrease_with_level(self):
+        schedule = multilevel_schedule(24, 24, 24, [16, 64, 256])
+        misses = simulate_multilevel_io(schedule, [16, 64, 256])
+        assert misses[0] >= misses[1] >= misses[2]
+
+    def test_outer_level_misses_at_least_compulsory(self):
+        m = n = k = 20
+        schedule = multilevel_schedule(m, n, k, [16, 1 << 12])
+        misses = simulate_multilevel_io(schedule, [16, 1 << 12])
+        distinct = m * k + k * n + m * n
+        assert misses[-1] >= distinct * 0.9
+
+    def test_granularity_reduces_counted_traffic_resolution(self):
+        schedule = multilevel_schedule(16, 16, 16, [16, 256])
+        fine = simulate_multilevel_io(schedule, [16, 256], granularity=1)
+        coarse = simulate_multilevel_io(schedule, [16, 256], granularity=4)
+        assert coarse[-1] <= fine[-1] * 4
+
+    def test_rejects_unordered_capacities(self):
+        schedule = multilevel_schedule(8, 8, 8, [16, 64])
+        with pytest.raises(ValueError):
+            simulate_multilevel_io(schedule, [64, 16])
+
+    def test_innermost_misses_at_least_bound(self):
+        m = n = k = 24
+        caps = [16, 256]
+        schedule = multilevel_schedule(m, n, k, caps)
+        misses = simulate_multilevel_io(schedule, caps)
+        # An LRU replay can only do worse than the optimal pebbling.
+        assert misses[0] >= sequential_io_lower_bound(m, n, k, caps[0]) * 0.5

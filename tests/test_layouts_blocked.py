@@ -1,0 +1,109 @@
+"""Tests for the blocked (COSMA) layout."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.blocked import BlockedLayout
+
+
+class TestConstruction:
+    def test_rejects_grid_larger_than_matrix(self):
+        with pytest.raises(ValueError):
+            BlockedLayout(rows=2, cols=8, grid_rows=3, grid_cols=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BlockedLayout(rows=0, cols=4, grid_rows=1, grid_cols=1)
+
+    def test_num_blocks(self):
+        layout = BlockedLayout(10, 12, 2, 3)
+        assert layout.num_blocks == 6
+
+
+class TestGeometry:
+    def test_row_ranges_cover_matrix(self):
+        layout = BlockedLayout(10, 12, 3, 4)
+        ranges = layout.row_ranges()
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 10
+
+    def test_even_split(self):
+        layout = BlockedLayout(8, 8, 2, 2)
+        assert layout.block_shape(0, 0) == (4, 4)
+        assert layout.block_shape(1, 1) == (4, 4)
+
+    def test_uneven_split_front_loaded(self):
+        layout = BlockedLayout(10, 10, 3, 3)
+        assert layout.block_shape(0, 0) == (4, 4)
+        assert layout.block_shape(2, 2) == (3, 3)
+
+    def test_block_of_element(self):
+        layout = BlockedLayout(10, 10, 2, 2)
+        assert layout.block_of_element(0, 0) == (0, 0)
+        assert layout.block_of_element(9, 9) == (1, 1)
+        assert layout.block_of_element(4, 5) == (0, 1)
+
+    def test_block_of_element_out_of_bounds(self):
+        layout = BlockedLayout(4, 4, 2, 2)
+        with pytest.raises(IndexError):
+            layout.block_of_element(4, 0)
+
+    def test_owner_index_row_major(self):
+        layout = BlockedLayout(4, 4, 2, 2)
+        assert layout.owner_index(0, 0) == 0
+        assert layout.owner_index(0, 3) == 1
+        assert layout.owner_index(3, 0) == 2
+        assert layout.owner_index(3, 3) == 3
+
+
+class TestDataMovement:
+    def test_split_assemble_roundtrip(self, rng):
+        matrix = rng.standard_normal((11, 7))
+        layout = BlockedLayout(11, 7, 3, 2)
+        blocks = layout.split(matrix)
+        assert np.allclose(layout.assemble(blocks), matrix)
+
+    def test_split_produces_all_blocks(self):
+        layout = BlockedLayout(6, 6, 2, 3)
+        blocks = layout.split(np.zeros((6, 6)))
+        assert set(blocks) == {(i, j) for i in range(2) for j in range(3)}
+
+    def test_extract_block_matches_slice(self, rng):
+        matrix = rng.standard_normal((9, 9))
+        layout = BlockedLayout(9, 9, 3, 3)
+        assert np.allclose(layout.extract_block(matrix, 1, 2), matrix[3:6, 6:9])
+
+    def test_assemble_rejects_wrong_shape(self):
+        layout = BlockedLayout(6, 6, 2, 2)
+        blocks = layout.split(np.zeros((6, 6)))
+        blocks[(0, 0)] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            layout.assemble(blocks)
+
+    def test_split_rejects_wrong_matrix(self):
+        layout = BlockedLayout(6, 6, 2, 2)
+        with pytest.raises(ValueError):
+            layout.split(np.zeros((5, 6)))
+
+
+class TestOwners:
+    def test_element_owners_shape(self):
+        layout = BlockedLayout(7, 5, 2, 2)
+        owners = layout.element_owners()
+        assert owners.shape == (7, 5)
+
+    def test_element_owners_match_owner_index(self):
+        layout = BlockedLayout(7, 5, 3, 2)
+        owners = layout.element_owners()
+        for i in range(7):
+            for j in range(5):
+                assert owners[i, j] == layout.owner_index(i, j)
+
+    def test_words_per_owner_sums_to_matrix(self):
+        layout = BlockedLayout(13, 9, 4, 3)
+        assert sum(layout.words_per_owner()) == 13 * 9
+
+    def test_words_per_owner_balanced(self):
+        layout = BlockedLayout(16, 16, 4, 4)
+        sizes = layout.words_per_owner()
+        assert max(sizes) == min(sizes) == 16

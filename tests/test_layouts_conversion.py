@@ -1,0 +1,81 @@
+"""Tests for layout redistribution (blocked <-> block-cyclic)."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.block_cyclic import BlockCyclicLayout
+from repro.layouts.blocked import BlockedLayout
+from repro.layouts.conversion import assemble_from_locals, redistribute, redistribution_volume
+from repro.machine.simulator import DistributedMachine
+
+
+class TestRedistributionVolume:
+    def test_identical_layouts_need_no_movement(self):
+        layout = BlockedLayout(8, 8, 2, 2)
+        assert redistribution_volume(layout, layout) == 0
+
+    def test_mismatched_matrices_rejected(self):
+        a = BlockedLayout(8, 8, 2, 2)
+        b = BlockedLayout(6, 8, 2, 2)
+        with pytest.raises(ValueError):
+            redistribution_volume(a, b)
+
+    def test_volume_bounded_by_matrix_size(self):
+        blocked = BlockedLayout(12, 12, 2, 2)
+        cyclic = BlockCyclicLayout(12, 12, 2, 2, 2, 2)
+        volume = redistribution_volume(blocked, cyclic)
+        assert 0 <= volume <= 12 * 12
+
+    def test_volume_counts_owner_changes_exactly(self):
+        blocked = BlockedLayout(4, 4, 2, 2)
+        cyclic = BlockCyclicLayout(4, 4, 1, 1, 2, 2)
+        expected = int(np.count_nonzero(blocked.element_owners() != cyclic.element_owners()))
+        assert redistribution_volume(blocked, cyclic) == expected
+
+
+class TestRedistribute:
+    def test_roundtrip_preserves_matrix(self, rng):
+        matrix = rng.standard_normal((12, 10))
+        src = BlockCyclicLayout(12, 10, 3, 2, 2, 2)
+        dst = BlockedLayout(12, 10, 2, 2)
+        machine = DistributedMachine(4)
+        local = redistribute(machine, matrix, src, dst)
+        assert np.allclose(assemble_from_locals(local, dst), matrix)
+
+    def test_measured_volume_matches_prediction(self, rng):
+        matrix = rng.standard_normal((12, 10))
+        src = BlockCyclicLayout(12, 10, 3, 2, 2, 2)
+        dst = BlockedLayout(12, 10, 2, 2)
+        machine = DistributedMachine(4)
+        redistribute(machine, matrix, src, dst)
+        assert machine.counters.total_words_sent == redistribution_volume(src, dst)
+
+    def test_same_layout_no_communication(self, rng):
+        matrix = rng.standard_normal((8, 8))
+        layout = BlockedLayout(8, 8, 2, 2)
+        machine = DistributedMachine(4)
+        redistribute(machine, matrix, layout, layout)
+        assert machine.counters.total_words_sent == 0
+
+    def test_rejects_wrong_matrix_shape(self):
+        layout = BlockedLayout(8, 8, 2, 2)
+        machine = DistributedMachine(4)
+        with pytest.raises(ValueError):
+            redistribute(machine, np.zeros((4, 4)), layout, layout)
+
+    def test_rejects_too_few_ranks(self, rng):
+        matrix = rng.standard_normal((8, 8))
+        layout = BlockedLayout(8, 8, 2, 2)
+        machine = DistributedMachine(4)
+        with pytest.raises(ValueError):
+            redistribute(machine, matrix, layout, layout, src_ranks=[0, 1])
+
+    def test_custom_rank_mapping(self, rng):
+        matrix = rng.standard_normal((8, 8))
+        src = BlockedLayout(8, 8, 2, 2)
+        dst = BlockCyclicLayout(8, 8, 2, 2, 2, 2)
+        machine = DistributedMachine(8)
+        local = redistribute(machine, matrix, src, dst, src_ranks=[0, 1, 2, 3], dst_ranks=[4, 5, 6, 7])
+        assert np.allclose(assemble_from_locals(local, dst, dst_ranks=[4, 5, 6, 7]), matrix)
+        # All data moves because source and destination rank sets are disjoint.
+        assert machine.counters.total_words_sent == 64

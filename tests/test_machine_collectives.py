@@ -1,0 +1,179 @@
+"""Tests for tree-based collectives on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine.collectives import (
+    allgather,
+    allreduce,
+    broadcast,
+    reduce,
+    reduce_scatter_blocks,
+    ring_shift,
+    scatter,
+)
+from repro.machine.simulator import DistributedMachine
+
+
+@pytest.fixture
+def machine():
+    return DistributedMachine(8, memory_words=1 << 16)
+
+
+class TestBroadcast:
+    def test_all_ranks_receive_payload(self, machine):
+        block = np.arange(12.0).reshape(3, 4)
+        received = broadcast(machine, 2, [2, 3, 4, 5], block)
+        for rank in [2, 3, 4, 5]:
+            assert np.allclose(received[rank], block)
+
+    def test_received_volume_matches_mpi_bcast(self, machine):
+        block = np.ones(10)
+        broadcast(machine, 0, [0, 1, 2, 3], block)
+        # Every non-root rank receives the payload exactly once.
+        for rank in [1, 2, 3]:
+            assert machine.rank(rank).counters.words_received == 10
+        assert machine.rank(0).counters.words_received == 0
+
+    def test_total_volume(self, machine):
+        broadcast(machine, 0, [0, 1, 2, 3, 4], np.ones(7))
+        assert machine.counters.total_words_sent == 4 * 7
+
+    def test_root_not_in_ranks_raises(self, machine):
+        with pytest.raises(ValueError):
+            broadcast(machine, 7, [0, 1, 2], np.ones(3))
+
+    def test_single_rank_broadcast_is_free(self, machine):
+        received = broadcast(machine, 3, [3], np.ones(5))
+        assert np.allclose(received[3], 1.0)
+        assert machine.counters.total_words_sent == 0
+
+    def test_tree_spreads_sender_load(self, machine):
+        # With a binomial tree over 8 ranks the root sends 3 messages, not 7.
+        broadcast(machine, 0, list(range(8)), np.ones(4))
+        assert machine.rank(0).counters.messages_sent == 3
+
+
+class TestReduce:
+    def test_sum_arrives_at_root(self, machine):
+        blocks = {r: np.full(4, float(r)) for r in range(4)}
+        total = reduce(machine, 0, [0, 1, 2, 3], blocks)
+        assert np.allclose(total, 0 + 1 + 2 + 3)
+
+    def test_each_nonroot_sends_once(self, machine):
+        blocks = {r: np.ones(6) for r in range(4)}
+        reduce(machine, 0, [0, 1, 2, 3], blocks)
+        for rank in [1, 2, 3]:
+            assert machine.rank(rank).counters.words_sent == 6
+
+    def test_missing_block_raises(self, machine):
+        with pytest.raises(ValueError):
+            reduce(machine, 0, [0, 1], {0: np.ones(3)})
+
+    def test_inputs_not_mutated(self, machine):
+        blocks = {0: np.ones(3), 1: np.ones(3)}
+        reduce(machine, 0, [0, 1], blocks)
+        assert np.allclose(blocks[0], 1.0)
+
+    def test_custom_op(self, machine):
+        blocks = {0: np.full(3, 5.0), 1: np.full(3, 2.0)}
+        result = reduce(machine, 0, [0, 1], blocks, op=np.maximum)
+        assert np.allclose(result, 5.0)
+
+    def test_root_can_be_any_rank(self, machine):
+        blocks = {r: np.full(2, 1.0) for r in [3, 5, 6]}
+        total = reduce(machine, 5, [3, 5, 6], blocks)
+        assert np.allclose(total, 3.0)
+
+
+class TestAllreduce:
+    def test_everyone_gets_sum(self, machine):
+        blocks = {r: np.full(3, float(r + 1)) for r in range(4)}
+        result = allreduce(machine, [0, 1, 2, 3], blocks)
+        for rank in range(4):
+            assert np.allclose(result[rank], 10.0)
+
+
+class TestReduceScatter:
+    def test_each_owner_gets_summed_piece(self, machine):
+        ranks = [0, 1, 2]
+        contributions = {
+            src: {dst: np.full(2, float(src + dst)) for dst in ranks} for src in ranks
+        }
+        result = reduce_scatter_blocks(machine, ranks, contributions)
+        for dst in ranks:
+            expected = sum(src + dst for src in ranks)
+            assert np.allclose(result[dst], expected)
+
+    def test_missing_own_contribution_raises(self, machine):
+        with pytest.raises(ValueError):
+            reduce_scatter_blocks(machine, [0, 1], {0: {0: np.ones(2)}, 1: {0: np.ones(2)}})
+
+
+class TestAllgather:
+    def test_everyone_has_everything_in_order(self, machine):
+        ranks = [0, 1, 2, 3]
+        blocks = {r: np.full(2, float(r)) for r in ranks}
+        gathered = allgather(machine, ranks, blocks)
+        for rank in ranks:
+            for position, value in enumerate(gathered[rank]):
+                assert np.allclose(value, float(ranks[position]))
+
+    def test_received_volume(self, machine):
+        ranks = [0, 1, 2, 3]
+        blocks = {r: np.ones(5) for r in ranks}
+        allgather(machine, ranks, blocks)
+        for rank in ranks:
+            assert machine.rank(rank).counters.words_received == 5 * (len(ranks) - 1)
+
+
+class TestScatter:
+    def test_pieces_delivered(self, machine):
+        pieces = {r: np.full(3, float(r)) for r in range(4)}
+        out = scatter(machine, 0, [0, 1, 2, 3], pieces)
+        for rank in range(4):
+            assert np.allclose(out[rank], float(rank))
+
+    def test_missing_piece_raises(self, machine):
+        with pytest.raises(ValueError):
+            scatter(machine, 0, [0, 1], {0: np.ones(2)})
+
+    def test_root_piece_not_counted(self, machine):
+        pieces = {0: np.ones(4), 1: np.ones(4)}
+        scatter(machine, 0, [0, 1], pieces)
+        assert machine.rank(0).counters.words_received == 0
+        assert machine.rank(1).counters.words_received == 4
+
+
+class TestRingShift:
+    def test_shift_by_one(self, machine):
+        ranks = [0, 1, 2, 3]
+        blocks = {r: np.full(2, float(r)) for r in ranks}
+        shifted = ring_shift(machine, ranks, blocks, displacement=1)
+        # Block of the rank at position pos moves to position pos - 1.
+        assert np.allclose(shifted[0], 1.0)
+        assert np.allclose(shifted[3], 0.0)
+
+    def test_shift_by_zero_is_identity_and_free(self, machine):
+        ranks = [0, 1, 2]
+        blocks = {r: np.full(1, float(r)) for r in ranks}
+        shifted = ring_shift(machine, ranks, blocks, displacement=0)
+        for r in ranks:
+            assert np.allclose(shifted[r], float(r))
+        assert machine.counters.total_words_sent == 0
+
+    def test_full_cycle_restores(self, machine):
+        ranks = [0, 1, 2, 3]
+        blocks = {r: np.full(1, float(r)) for r in ranks}
+        current = blocks
+        for _ in range(len(ranks)):
+            current = ring_shift(machine, ranks, current, displacement=1)
+        for r in ranks:
+            assert np.allclose(current[r], float(r))
+
+    def test_counts_one_round_per_shift(self, machine):
+        ranks = [0, 1, 2, 3]
+        blocks = {r: np.ones(4) for r in ranks}
+        ring_shift(machine, ranks, blocks, displacement=1)
+        for r in ranks:
+            assert machine.rank(r).counters.rounds == 1

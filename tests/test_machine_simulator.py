@@ -1,0 +1,173 @@
+"""Tests for the distributed machine simulator and its counters."""
+
+import numpy as np
+import pytest
+
+from repro.machine.counters import CommCounters, RankCounters
+from repro.machine.simulator import DistributedMachine, LocalMemoryExceededError
+
+
+class TestRankCounters:
+    def test_total_words(self):
+        counters = RankCounters(words_sent=5, words_received=7)
+        assert counters.total_words == 12
+
+    def test_copy_is_independent(self):
+        counters = RankCounters(words_sent=5)
+        clone = counters.copy()
+        clone.words_sent = 100
+        assert counters.words_sent == 5
+
+
+class TestCommCounters:
+    def test_for_ranks(self):
+        counters = CommCounters.for_ranks(4)
+        assert counters.p == 4
+        assert counters.total_words_sent == 0
+
+    def test_mean_and_max(self):
+        counters = CommCounters.for_ranks(2)
+        counters.per_rank[0].words_sent = 10
+        counters.per_rank[1].words_received = 30
+        assert counters.mean_words_per_rank() == 20.0
+        assert counters.max_words_per_rank() == 30
+
+    def test_megabytes_conversion(self):
+        counters = CommCounters.for_ranks(1)
+        counters.per_rank[0].words_sent = 1_000_000
+        assert counters.mean_megabytes_per_rank(word_bytes=8) == pytest.approx(8.0)
+
+    def test_reset(self):
+        counters = CommCounters.for_ranks(1)
+        counters.per_rank[0].words_sent = 10
+        counters.reset()
+        assert counters.total_words_sent == 0
+
+    def test_snapshot_is_deep(self):
+        counters = CommCounters.for_ranks(1)
+        snap = counters.snapshot()
+        counters.per_rank[0].words_sent = 99
+        assert snap.per_rank[0].words_sent == 0
+
+
+class TestDistributedMachine:
+    def test_requires_positive_p(self):
+        with pytest.raises(ValueError):
+            DistributedMachine(0)
+
+    def test_rank_bounds(self):
+        machine = DistributedMachine(2)
+        with pytest.raises(IndexError):
+            machine.rank(2)
+
+    def test_send_counts_words_and_messages(self):
+        machine = DistributedMachine(2)
+        block = np.ones((3, 4))
+        delivered = machine.send(0, 1, block)
+        assert delivered.shape == (3, 4)
+        assert machine.rank(0).counters.words_sent == 12
+        assert machine.rank(1).counters.words_received == 12
+        assert machine.rank(0).counters.messages_sent == 1
+        assert machine.rank(1).counters.messages_received == 1
+
+    def test_send_to_self_is_free(self):
+        machine = DistributedMachine(2)
+        machine.send(0, 0, np.ones(10))
+        assert machine.counters.total_words_sent == 0
+
+    def test_send_returns_copy(self):
+        machine = DistributedMachine(2)
+        block = np.ones(4)
+        delivered = machine.send(0, 1, block)
+        delivered[0] = 99
+        assert block[0] == 1.0
+
+    def test_conservation(self):
+        machine = DistributedMachine(3)
+        machine.send(0, 1, np.ones(5))
+        machine.send(1, 2, np.ones((2, 2)))
+        assert machine.counters.conservation_ok()
+
+    def test_kind_splits_input_output(self):
+        machine = DistributedMachine(2)
+        machine.send(0, 1, np.ones(5), kind="input")
+        machine.send(0, 1, np.ones(3), kind="output")
+        assert machine.rank(1).counters.input_words == 5
+        assert machine.rank(1).counters.output_words == 3
+
+    def test_rounds_counted(self):
+        machine = DistributedMachine(2)
+        machine.send(0, 1, np.ones(5))
+        machine.send(0, 1, np.ones(5), count_round=False)
+        assert machine.rank(0).counters.rounds == 1
+
+    def test_local_multiply_counts_flops(self):
+        machine = DistributedMachine(1)
+        a = np.ones((2, 3))
+        b = np.ones((3, 4))
+        product = machine.local_multiply(0, a, b)
+        assert product.shape == (2, 4)
+        assert machine.rank(0).counters.flops == 2 * 2 * 3 * 4
+
+    def test_local_multiply_accumulates(self):
+        machine = DistributedMachine(1)
+        acc = np.zeros((2, 2))
+        machine.local_multiply(0, np.eye(2), np.eye(2), accumulate_into=acc)
+        machine.local_multiply(0, np.eye(2), np.eye(2), accumulate_into=acc)
+        assert np.allclose(acc, 2 * np.eye(2))
+
+    def test_local_multiply_shape_mismatch(self):
+        machine = DistributedMachine(1)
+        with pytest.raises(ValueError):
+            machine.local_multiply(0, np.ones((2, 3)), np.ones((4, 2)))
+
+    def test_local_add(self):
+        machine = DistributedMachine(1)
+        target = np.zeros(3)
+        machine.local_add(0, target, np.arange(3.0))
+        assert np.allclose(target, [0, 1, 2])
+        assert machine.rank(0).counters.flops == 3
+
+    def test_store_and_resident_words(self):
+        machine = DistributedMachine(1)
+        machine.rank(0).put("A", np.ones((4, 4)))
+        assert machine.rank(0).resident_words() == 16
+
+    def test_check_memory_records_peak(self):
+        machine = DistributedMachine(1, memory_words=100)
+        machine.rank(0).put("A", np.ones(60))
+        machine.check_memory()
+        assert machine.peak_resident_words == 60
+
+    def test_check_memory_enforces(self):
+        machine = DistributedMachine(1, memory_words=10, enforce_memory=True)
+        machine.rank(0).put("A", np.ones(20))
+        with pytest.raises(LocalMemoryExceededError):
+            machine.check_memory()
+
+    def test_check_memory_with_extra_words(self):
+        machine = DistributedMachine(2, memory_words=100)
+        machine.rank(0).put("A", np.ones(10))
+        worst = machine.check_memory(extra_words={0: 50})
+        assert worst == 60
+
+    def test_gather_results_no_accounting(self):
+        machine = DistributedMachine(2)
+        machine.rank(0).put("C", np.ones(3))
+        machine.gather_results("C")
+        assert machine.counters.total_words_sent == 0
+
+    def test_sendrecv_counts_single_round(self):
+        machine = DistributedMachine(2)
+        machine.sendrecv(0, 1, np.ones(4), 1, 0, np.ones(4))
+        assert machine.rank(0).counters.rounds == 1
+        assert machine.rank(1).counters.rounds == 1
+        assert machine.rank(0).counters.words_sent == 4
+        assert machine.rank(0).counters.words_received == 4
+
+    def test_reset_counters(self):
+        machine = DistributedMachine(2)
+        machine.send(0, 1, np.ones(5))
+        machine.reset_counters()
+        assert machine.counters.total_words_sent == 0
+        assert machine.peak_resident_words == 0

@@ -1,0 +1,105 @@
+"""Tests for the general lower-bound machinery (Lemmas 1-4)."""
+
+import pytest
+
+from repro.pebbling.bounds import (
+    analyze_partition,
+    computational_intensity,
+    generalized_lower_bound,
+    hong_kung_lower_bound,
+    intensity_lower_bound,
+    subcomputation_count_lower_bound,
+)
+from repro.pebbling.mmm_cdag import build_mmm_cdag, c_vertex
+from repro.pebbling.partition import XPartition
+
+
+class TestHongKung:
+    def test_formula(self):
+        assert hong_kung_lower_bound(s=10, h_2s=5) == 40
+
+    def test_single_subcomputation_gives_zero(self):
+        assert hong_kung_lower_bound(s=10, h_2s=1) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            hong_kung_lower_bound(0, 5)
+
+
+class TestGeneralizedBound:
+    def test_reduces_to_hong_kung(self):
+        # With X = 2S, R(S) = S and T(S) = 0 the generalized bound matches Lemma 1.
+        assert generalized_lower_bound(x=20, r_s=10, t_s=0, h_x=5) == hong_kung_lower_bound(10, 5)
+
+    def test_tighter_with_smaller_reuse(self):
+        loose = generalized_lower_bound(x=20, r_s=10, t_s=0, h_x=5)
+        tight = generalized_lower_bound(x=20, r_s=4, t_s=0, h_x=5)
+        assert tight > loose
+
+    def test_store_term_tightens(self):
+        base = generalized_lower_bound(x=20, r_s=5, t_s=0, h_x=5)
+        with_store = generalized_lower_bound(x=20, r_s=5, t_s=3, h_x=5)
+        assert with_store > base
+
+    def test_reuse_cannot_exceed_x(self):
+        with pytest.raises(ValueError):
+            generalized_lower_bound(x=10, r_s=11, t_s=0, h_x=2)
+
+    def test_never_negative(self):
+        assert generalized_lower_bound(x=10, r_s=10, t_s=0, h_x=1) == 0
+
+
+class TestSubcomputationCount:
+    def test_exact_division(self):
+        assert subcomputation_count_lower_bound(100, 10) == 10
+
+    def test_rounds_up(self):
+        assert subcomputation_count_lower_bound(101, 10) == 11
+
+
+class TestComputationalIntensity:
+    def test_formula(self):
+        assert computational_intensity(100, x=30, reuse=10, store=0) == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_denominator(self):
+        with pytest.raises(ValueError):
+            computational_intensity(100, x=10, reuse=10, store=0)
+
+    def test_lower_bound_from_intensity(self):
+        assert intensity_lower_bound(1000, 5.0) == pytest.approx(200.0)
+
+    def test_intensity_bound_rejects_zero(self):
+        with pytest.raises(ValueError):
+            intensity_lower_bound(100, 0.0)
+
+
+class TestAnalyzePartition:
+    def _mmm_partition(self, m=2, n=2, k=3):
+        mmm = build_mmm_cdag(m, n, k)
+        subsets = [
+            {c_vertex(i, j, t) for i in range(m) for j in range(n)} for t in range(k)
+        ]
+        return XPartition(cdag=mmm.cdag, subcomputations=subsets), mmm
+
+    def test_total_vertices(self):
+        partition, mmm = self._mmm_partition()
+        analysis = analyze_partition(partition, x=8)
+        assert analysis.total_vertices == mmm.num_multiplications
+
+    def test_lower_bound_positive(self):
+        partition, _ = self._mmm_partition()
+        analysis = analyze_partition(partition, x=8)
+        assert analysis.lower_bound > 0
+
+    def test_lower_bound_not_exceeding_trivial_io(self):
+        # The bound can never exceed the total data touched (inputs + outputs + mnk).
+        partition, mmm = self._mmm_partition()
+        analysis = analyze_partition(partition, x=8)
+        trivial = mmm.m * mmm.k + mmm.k * mmm.n + mmm.m * mmm.n + mmm.num_multiplications
+        assert analysis.lower_bound <= trivial
+
+    def test_reuse_reported(self):
+        partition, _ = self._mmm_partition()
+        analysis = analyze_partition(partition, x=8)
+        # Between k-steps the 4 partial sums are reused.
+        assert analysis.max_reuse == 4

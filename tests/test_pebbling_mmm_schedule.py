@@ -1,0 +1,153 @@
+"""Tests for the near-optimal sequential MMM schedule (Listing 1)."""
+
+import math
+
+import pytest
+
+from repro.pebbling.game import PebbleGame
+from repro.pebbling.mmm_bounds import sequential_io_lower_bound
+from repro.pebbling.mmm_cdag import build_mmm_cdag
+from repro.pebbling.mmm_schedule import (
+    optimal_tile_sizes,
+    sequential_mmm_schedule,
+    square_tile_size,
+)
+
+
+class TestTileSizes:
+    def test_square_tile_size(self):
+        # a = floor(sqrt(S+1)) - 1
+        assert square_tile_size(99) == 9
+        assert square_tile_size(3) == 1
+
+    def test_square_tile_fits_memory(self):
+        for s in [8, 17, 64, 200, 1000]:
+            a = square_tile_size(s)
+            assert a * a + 2 * a <= s
+
+    def test_optimal_tiles_fit_constraint(self):
+        for s in [10, 50, 100, 500, 4096]:
+            a, b = optimal_tile_sizes(s)
+            assert a * b + a + 1 <= s
+
+    def test_optimal_beats_or_matches_square(self):
+        for s in [16, 100, 1024]:
+            a, b = optimal_tile_sizes(s)
+            sq = square_tile_size(s)
+            rho_opt = a * b / (a + b)
+            rho_sq = sq * sq / (2 * sq)
+            assert rho_opt >= rho_sq - 1e-12
+
+    def test_optimal_close_to_sqrt_s(self):
+        s = 10_000
+        a, b = optimal_tile_sizes(s)
+        assert abs(a - math.sqrt(s)) < 0.05 * math.sqrt(s)
+        assert abs(b - math.sqrt(s)) < 0.05 * math.sqrt(s)
+
+    def test_closed_form_close_to_search(self):
+        for s in [100, 1000, 10_000]:
+            a_search, b_search = optimal_tile_sizes(s, method="search")
+            a_closed, b_closed = optimal_tile_sizes(s, method="closed_form")
+            assert abs(a_search - a_closed) <= 1
+            assert abs(b_search - b_closed) <= 2
+
+    def test_rejects_tiny_memory(self):
+        with pytest.raises(ValueError):
+            optimal_tile_sizes(3)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            optimal_tile_sizes(100, method="magic")
+
+
+class TestScheduleStructure:
+    def test_covers_all_multiplications(self):
+        schedule = sequential_mmm_schedule(7, 5, 4, 64)
+        covered = sum(step.size for step in schedule.steps)
+        assert covered == 7 * 5 * 4
+
+    def test_tiles_clipped_to_matrix(self):
+        schedule = sequential_mmm_schedule(5, 5, 3, 1000)
+        for step in schedule.steps:
+            assert step.rows[1] <= 5
+            assert step.cols[1] <= 5
+
+    def test_number_of_steps(self):
+        schedule = sequential_mmm_schedule(8, 8, 4, 30)
+        tiles = math.ceil(8 / schedule.a) * math.ceil(8 / schedule.b)
+        assert schedule.num_steps == tiles * 4
+
+    def test_square_variant(self):
+        schedule = sequential_mmm_schedule(8, 8, 4, 30, tile="square")
+        assert schedule.a == schedule.b == square_tile_size(30)
+
+    def test_unknown_tile_strategy(self):
+        with pytest.raises(ValueError):
+            sequential_mmm_schedule(4, 4, 4, 30, tile="weird")
+
+    def test_predicted_io_close_to_lower_bound(self):
+        m = n = k = 64
+        s = 256
+        schedule = sequential_mmm_schedule(m, n, k, s)
+        bound = sequential_io_lower_bound(m, n, k, s)
+        # The feasible schedule is within the sqrt(S)/(sqrt(S+1)-1) factor plus
+        # discretization slack.
+        assert schedule.predicted_io() >= bound * 0.9
+        assert schedule.predicted_io() <= bound * 1.35
+
+
+class TestXPartitionView:
+    def test_valid_partition(self):
+        mmm = build_mmm_cdag(4, 4, 3)
+        schedule = sequential_mmm_schedule(4, 4, 3, 20)
+        partition = schedule.as_x_partition(mmm)
+        x = schedule.a * schedule.b + schedule.a + schedule.b + schedule.a * schedule.b
+        assert partition.is_pairwise_disjoint()
+        assert partition.covers_all_computations()
+        assert partition.has_no_cyclic_dependencies()
+        assert partition.max_dominator_size() <= x
+
+    def test_dimension_mismatch_rejected(self):
+        mmm = build_mmm_cdag(3, 3, 3)
+        schedule = sequential_mmm_schedule(4, 4, 3, 20)
+        with pytest.raises(ValueError):
+            schedule.as_x_partition(mmm)
+
+
+class TestExecutablePebbling:
+    @pytest.mark.parametrize("tile", ["optimal", "square"])
+    @pytest.mark.parametrize("m,n,k,s", [(4, 4, 3, 12), (6, 5, 4, 20), (3, 7, 2, 16)])
+    def test_moves_are_legal_and_complete(self, m, n, k, s, tile):
+        mmm = build_mmm_cdag(m, n, k)
+        schedule = sequential_mmm_schedule(m, n, k, s, tile=tile)
+        game = PebbleGame(mmm.cdag, red_pebbles=schedule.required_red_pebbles())
+        result = game.run(schedule.as_pebbling_moves())
+        assert result.complete
+
+    def test_measured_io_matches_prediction(self):
+        m, n, k, s = 6, 6, 4, 14
+        mmm = build_mmm_cdag(m, n, k)
+        schedule = sequential_mmm_schedule(m, n, k, s)
+        game = PebbleGame(mmm.cdag, red_pebbles=schedule.required_red_pebbles())
+        result = game.run(schedule.as_pebbling_moves())
+        assert result.io == schedule.predicted_io()
+
+    def test_measured_io_respects_lower_bound_scaling(self):
+        # The measured I/O of the legal schedule is within a constant factor of
+        # the Theorem 1 bound evaluated at the schedule's effective tile memory.
+        m, n, k = 8, 8, 6
+        s = 24
+        mmm = build_mmm_cdag(m, n, k)
+        schedule = sequential_mmm_schedule(m, n, k, s)
+        game = PebbleGame(mmm.cdag, red_pebbles=schedule.required_red_pebbles())
+        result = game.run(schedule.as_pebbling_moves())
+        bound = sequential_io_lower_bound(m, n, k, schedule.required_red_pebbles())
+        assert result.io >= bound * 0.5
+
+    def test_peak_red_usage_within_declared_capacity(self):
+        m, n, k, s = 6, 6, 4, 18
+        mmm = build_mmm_cdag(m, n, k)
+        schedule = sequential_mmm_schedule(m, n, k, s)
+        game = PebbleGame(mmm.cdag, red_pebbles=schedule.required_red_pebbles())
+        result = game.run(schedule.as_pebbling_moves())
+        assert result.max_red_in_use <= schedule.required_red_pebbles()

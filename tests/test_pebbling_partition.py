@@ -1,0 +1,141 @@
+"""Tests for X-partitions, dominator/minimum/reuse/store sets."""
+
+import pytest
+
+from repro.pebbling.cdag import CDAG
+from repro.pebbling.mmm_cdag import build_mmm_cdag, c_vertex
+from repro.pebbling.partition import XPartition, dominator_set, is_dominator, minimum_set
+
+
+@pytest.fixture
+def chain():
+    g = CDAG()
+    g.add_edge("x", "y")
+    g.add_edge("y", "z")
+    g.add_edge("z", "w")
+    return g
+
+
+class TestDominatorSet:
+    def test_chain_subset(self, chain):
+        dom = dominator_set(chain, {"z", "w"})
+        assert dom == {"y"}
+
+    def test_subset_containing_inputs_children(self, chain):
+        dom = dominator_set(chain, {"y"})
+        assert dom == {"x"}
+
+    def test_is_dominator_accepts_boundary(self, chain):
+        assert is_dominator(chain, {"z", "w"}, {"y"})
+
+    def test_is_dominator_rejects_empty(self, chain):
+        assert not is_dominator(chain, {"z", "w"}, set())
+
+    def test_mmm_dominator_is_alpha_beta_gamma(self):
+        mmm = build_mmm_cdag(2, 2, 2)
+        # Subcomputation: all partial sums at k-index t=1 (the second updates).
+        subset = {c_vertex(i, j, 1) for i in range(2) for j in range(2)}
+        dom = dominator_set(mmm.cdag, subset)
+        alpha, beta, _gamma = mmm.projections(subset)
+        previous_partials = {c_vertex(i, j, 0) for i in range(2) for j in range(2)}
+        assert dom == alpha | beta | previous_partials
+
+
+class TestMinimumSet:
+    def test_chain(self, chain):
+        assert minimum_set(chain, {"y", "z"}) == {"z"}
+
+    def test_independent_vertices(self):
+        g = CDAG()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        assert minimum_set(g, {"b", "c"}) == {"b", "c"}
+
+
+class TestXPartitionValidity:
+    def test_valid_partition_of_mmm(self):
+        mmm = build_mmm_cdag(2, 2, 3)
+        subsets = [
+            {c_vertex(i, j, t) for i in range(2) for j in range(2)} for t in range(3)
+        ]
+        partition = XPartition(cdag=mmm.cdag, subcomputations=subsets)
+        assert partition.is_pairwise_disjoint()
+        assert partition.covers_all_computations()
+        assert partition.has_no_cyclic_dependencies()
+        assert partition.is_valid(x=12)
+
+    def test_dominator_size_limit(self):
+        mmm = build_mmm_cdag(2, 2, 3)
+        subsets = [
+            {c_vertex(i, j, t) for i in range(2) for j in range(2)} for t in range(3)
+        ]
+        partition = XPartition(cdag=mmm.cdag, subcomputations=subsets)
+        # Dominator of a step is 2 A-elements + 2 B-elements + 4 previous partials = 8.
+        assert partition.max_dominator_size() == 8
+        assert not partition.is_valid(x=4)
+
+    def test_overlapping_subsets_invalid(self):
+        mmm = build_mmm_cdag(2, 2, 2)
+        v = {c_vertex(0, 0, 0)}
+        partition = XPartition(cdag=mmm.cdag, subcomputations=[v, v])
+        assert not partition.is_pairwise_disjoint()
+
+    def test_non_covering_invalid(self):
+        mmm = build_mmm_cdag(2, 2, 2)
+        partition = XPartition(cdag=mmm.cdag, subcomputations=[{c_vertex(0, 0, 0)}])
+        assert not partition.covers_all_computations()
+
+    def test_wrong_order_has_cyclic_dependency(self):
+        mmm = build_mmm_cdag(1, 1, 2)
+        later = {c_vertex(0, 0, 1)}
+        earlier = {c_vertex(0, 0, 0)}
+        partition = XPartition(cdag=mmm.cdag, subcomputations=[later, earlier])
+        assert not partition.has_no_cyclic_dependencies()
+
+    def test_largest_subcomputation(self):
+        mmm = build_mmm_cdag(2, 2, 2)
+        subsets = [
+            {c_vertex(i, j, t) for i in range(2) for j in range(2)} for t in range(2)
+        ]
+        partition = XPartition(cdag=mmm.cdag, subcomputations=subsets)
+        assert partition.largest_subcomputation() == 4
+
+    def test_empty_partition(self):
+        mmm = build_mmm_cdag(1, 1, 1)
+        partition = XPartition(cdag=mmm.cdag, subcomputations=[])
+        assert partition.h == 0
+        assert partition.max_dominator_size() == 0
+
+
+class TestReuseAndStoreSets:
+    def test_first_subcomputation_has_no_reuse(self):
+        mmm = build_mmm_cdag(2, 2, 2)
+        subsets = [
+            {c_vertex(i, j, t) for i in range(2) for j in range(2)} for t in range(2)
+        ]
+        partition = XPartition(cdag=mmm.cdag, subcomputations=subsets)
+        reuse = partition.reuse_sets()
+        assert reuse[0] == set()
+
+    def test_partial_sums_are_reused_between_k_steps(self):
+        mmm = build_mmm_cdag(2, 2, 2)
+        subsets = [
+            {c_vertex(i, j, t) for i in range(2) for j in range(2)} for t in range(2)
+        ]
+        partition = XPartition(cdag=mmm.cdag, subcomputations=subsets)
+        reuse = partition.reuse_sets()
+        # The second step's dominator includes the first step's partial sums,
+        # which stayed in fast memory: they are the reuse set.
+        assert reuse[1] == {c_vertex(i, j, 0) for i in range(2) for j in range(2)}
+
+    def test_store_sets_only_final_outputs(self):
+        mmm = build_mmm_cdag(2, 2, 2)
+        subsets = [
+            {c_vertex(i, j, t) for i in range(2) for j in range(2)} for t in range(2)
+        ]
+        partition = XPartition(cdag=mmm.cdag, subcomputations=subsets)
+        stores = partition.store_sets()
+        # Intermediate partial sums are consumed by the next step: nothing stored.
+        assert stores[0] == set()
+        # The last step stores the outputs.
+        assert stores[1] == {c_vertex(i, j, 1) for i in range(2) for j in range(2)}

@@ -1,0 +1,120 @@
+"""Robustness and failure-injection tests across modules.
+
+These tests exercise the error paths a downstream user is most likely to hit:
+inconsistent shapes, impossible memory budgets, degenerate problem sizes, and
+the memory-enforcement mode of the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro import multiply
+from repro.baselines.cannon import cannon_multiply
+from repro.baselines.carma import carma_multiply
+from repro.baselines.grid25d import grid25d_multiply
+from repro.baselines.summa import summa_multiply
+from repro.core.cosma import cosma_multiply
+from repro.core.decomposition import build_decomposition
+from repro.machine.simulator import DistributedMachine, LocalMemoryExceededError
+from repro.sequential import tiled_multiply
+
+
+class TestDegenerateShapes:
+    """1-wide and 1-deep matrices must work in every algorithm."""
+
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (1, 8, 4), (8, 1, 4), (8, 4, 1)])
+    def test_cosma(self, rng, shape):
+        m, n, k = shape
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        result = cosma_multiply(a, b, 4, memory_words=4096)
+        assert np.allclose(result.matrix, a @ b)
+
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (1, 8, 4), (8, 1, 4), (8, 4, 1)])
+    def test_baselines(self, rng, shape):
+        m, n, k = shape
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        for fn in (summa_multiply, cannon_multiply, carma_multiply):
+            result = fn(a, b, 4)
+            assert np.allclose(result.matrix, a @ b), fn.__name__
+        result = grid25d_multiply(a, b, 4, memory_words=4096)
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_sequential_one_element(self, rng):
+        a = rng.standard_normal((1, 1))
+        b = rng.standard_normal((1, 1))
+        result = tiled_multiply(a, b, memory_words=8)
+        assert np.allclose(result.matrix, a @ b)
+
+    def test_more_processors_than_work(self, rng):
+        a = rng.standard_normal((2, 2))
+        b = rng.standard_normal((2, 2))
+        result = cosma_multiply(a, b, 64, memory_words=4096)
+        assert np.allclose(result.matrix, a @ b)
+        assert result.decomposition.p_used <= 8
+
+
+class TestMemoryEnforcement:
+    def test_cosma_within_budget_passes_enforcement(self, rng):
+        m = n = k = 32
+        s = 4096
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        machine = DistributedMachine(8, memory_words=s, enforce_memory=True)
+        result = cosma_multiply(a, b, 8, memory_words=s, machine=machine)
+        assert np.allclose(result.matrix, a @ b)
+        assert machine.peak_resident_words <= s
+
+    def test_enforcement_trips_when_budget_absurd(self, rng):
+        a = rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64))
+        machine = DistributedMachine(2, memory_words=16, enforce_memory=True)
+        with pytest.raises(LocalMemoryExceededError):
+            cosma_multiply(a, b, 2, memory_words=16, machine=machine)
+
+    def test_peak_usage_reported_without_enforcement(self, rng):
+        a = rng.standard_normal((32, 32))
+        b = rng.standard_normal((32, 32))
+        machine = DistributedMachine(4, memory_words=1 << 20)
+        cosma_multiply(a, b, 4, memory_words=1 << 20, machine=machine)
+        assert machine.peak_resident_words > 0
+
+
+class TestInputValidation:
+    def test_multiply_rejects_mismatched_inner_dims(self, rng):
+        with pytest.raises(ValueError):
+            multiply(rng.standard_normal((4, 3)), rng.standard_normal((4, 4)), 2, 1024)
+
+    def test_decomposition_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            build_decomposition(8, 8, 8, 4, 0)
+
+    def test_summa_rejects_zero_processors(self, rng):
+        with pytest.raises(ValueError):
+            summa_multiply(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)), 0)
+
+    def test_cannon_rejects_zero_processors(self, rng):
+        with pytest.raises(ValueError):
+            cannon_multiply(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)), 0)
+
+
+class TestDeterminism:
+    def test_cosma_volume_is_deterministic(self, rng):
+        a = rng.standard_normal((24, 24))
+        b = rng.standard_normal((24, 24))
+        first = cosma_multiply(a, b, 6, memory_words=2048)
+        second = cosma_multiply(a, b, 6, memory_words=2048)
+        assert first.counters.total_words_sent == second.counters.total_words_sent
+        assert first.grid.as_tuple() == second.grid.as_tuple()
+
+    def test_harness_runs_are_reproducible(self):
+        from repro.experiments.harness import run_algorithm
+        from repro.workloads.scaling import Scenario
+        from repro.workloads.shapes import square_shape
+
+        scenario = Scenario("det", square_shape(24), 4, 2048, "strong")
+        run1 = run_algorithm("COSMA", scenario, seed=7)
+        run2 = run_algorithm("COSMA", scenario, seed=7)
+        assert run1.mean_words_per_rank == run2.mean_words_per_rank
+        assert run1.total_flops == run2.total_flops

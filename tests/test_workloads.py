@@ -1,0 +1,131 @@
+"""Tests for workload shapes and scaling scenarios (section 8)."""
+
+import pytest
+
+from repro.workloads.scaling import (
+    all_regime_sweeps,
+    extra_memory_sweep,
+    limited_memory_sweep,
+    strong_scaling_sweep,
+)
+from repro.workloads.shapes import (
+    ProblemShape,
+    flat_shape,
+    large_k_shape,
+    large_m_shape,
+    rpa_water_shape,
+    square_shape,
+)
+
+
+class TestShapes:
+    def test_square(self):
+        shape = square_shape(128)
+        assert (shape.m, shape.n, shape.k) == (128, 128, 128)
+        assert shape.family == "square"
+
+    def test_large_k(self):
+        shape = large_k_shape(64, 4096)
+        assert shape.k > shape.m == shape.n
+
+    def test_large_m(self):
+        shape = large_m_shape(4096, 64)
+        assert shape.m > shape.n == shape.k
+
+    def test_flat(self):
+        shape = flat_shape(512, 16)
+        assert shape.m == shape.n > shape.k
+
+    def test_flops_and_footprint(self):
+        shape = ProblemShape(4, 5, 6)
+        assert shape.flops == 2 * 4 * 5 * 6
+        assert shape.footprint_words == 4 * 5 + 4 * 6 + 5 * 6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ProblemShape(0, 4, 4)
+
+    def test_rpa_water_dimensions(self):
+        shape = rpa_water_shape(128, scale=1.0)
+        assert shape.m == shape.n == 136 * 128
+        assert shape.k == 228 * 128 * 128
+
+    def test_rpa_water_scaled(self):
+        full = rpa_water_shape(8, scale=1.0)
+        small = rpa_water_shape(8, scale=0.1)
+        assert small.k < full.k
+        assert small.family == "largeK"
+
+    def test_scaled_shape(self):
+        shape = square_shape(100).scaled(0.5)
+        assert shape.m == 50
+
+    def test_random_matrices_reproducible(self):
+        shape = ProblemShape(6, 7, 8)
+        a1, b1 = shape.random_matrices(seed=3)
+        a2, b2 = shape.random_matrices(seed=3)
+        assert (a1 == a2).all() and (b1 == b2).all()
+        assert a1.shape == (6, 8)
+        assert b1.shape == (8, 7)
+
+
+class TestStrongScaling:
+    def test_shape_fixed_across_p(self):
+        scenarios = strong_scaling_sweep(square_shape(64), [4, 8, 16])
+        shapes = {s.shape for s in scenarios}
+        assert len(shapes) == 1
+        assert [s.p for s in scenarios] == [4, 8, 16]
+
+    def test_default_memory_feasible_at_smallest_p(self):
+        scenarios = strong_scaling_sweep(square_shape(64), [4, 8, 16])
+        smallest = scenarios[0]
+        assert smallest.aggregate_memory >= smallest.shape.footprint_words
+
+    def test_empty_p_values_rejected(self):
+        with pytest.raises(ValueError):
+            strong_scaling_sweep(square_shape(8), [])
+
+    def test_regime_label(self):
+        assert strong_scaling_sweep(square_shape(8), [2])[0].regime == "strong"
+
+
+class TestWeakScaling:
+    @pytest.mark.parametrize("family", ["square", "largeK", "largeM", "flat"])
+    def test_limited_memory_ratio_roughly_constant(self, family):
+        scenarios = limited_memory_sweep(family, [8, 64, 512], memory_words=1 << 16)
+        ratios = [s.memory_ratio for s in scenarios]
+        assert max(ratios) / min(ratios) < 3.0
+
+    @pytest.mark.parametrize("family", ["square", "largeK", "largeM", "flat"])
+    def test_limited_memory_is_feasible(self, family):
+        for scenario in limited_memory_sweep(family, [8, 64, 512], memory_words=1 << 16):
+            assert scenario.aggregate_memory >= scenario.shape.footprint_words
+
+    def test_extra_memory_ratio_grows_with_p(self):
+        scenarios = extra_memory_sweep("square", [8, 64, 512], memory_words=1 << 16)
+        ratios = [s.memory_ratio for s in scenarios]
+        assert ratios[-1] > ratios[0]
+
+    def test_problem_grows_with_p(self):
+        scenarios = limited_memory_sweep("square", [8, 64, 512], memory_words=1 << 16)
+        sizes = [s.shape.multiplications for s in scenarios]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_family_preserved(self):
+        for scenario in limited_memory_sweep("largeK", [8, 64], memory_words=4096):
+            assert scenario.shape.family == "largeK"
+            assert scenario.shape.k > scenario.shape.m
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            limited_memory_sweep("diagonal", [8], memory_words=4096)
+
+    def test_all_regime_sweeps_bundle(self):
+        sweeps = all_regime_sweeps("square", [4, 16], memory_words=1 << 14)
+        assert set(sweeps) == {"strong", "limited", "extra"}
+        assert all(len(v) == 2 for v in sweeps.values())
+
+    def test_names_unique(self):
+        scenarios = limited_memory_sweep("flat", [4, 16, 64], memory_words=4096)
+        names = [s.name for s in scenarios]
+        assert len(names) == len(set(names))
