@@ -7,10 +7,14 @@ times the underlying computation so regressions in the library itself are
 also visible.
 
 Scale note: the paper's experiments use 109 - 18,432 cores and matrices up to
-millions of rows; the simulator runs every rank as a Python object, so the
-sweeps below use geometrically spaced core counts up to 64 and matrices of a
-few hundred rows.  The regime definitions (strong scaling / limited memory /
-extra memory, section 8) are preserved exactly.
+millions of rows.  In the default (``legacy``) mode the simulator physically
+multiplies numpy blocks, so the figure-reproduction sweeps below use
+geometrically spaced core counts up to 64 and matrices of a few hundred rows.
+The regime definitions (strong scaling / limited memory / extra memory,
+section 8) are preserved exactly.  ``volume`` mode (counters-only payloads,
+see :mod:`repro.machine.transport`) produces byte-identical communication
+counters without any numerics and unlocks paper-scale sweeps -- see
+``bench_simulator_fastpath.py`` for core counts in the thousands.
 """
 
 from __future__ import annotations
@@ -61,17 +65,19 @@ def run_benchmark_sweep(
     regime: str,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
     p_values: Sequence[int] = CORE_COUNTS,
+    mode: str = "legacy",
 ):
-    """Run a full (family, regime) sweep across algorithms; results are verified.
+    """Run a full (family, regime) sweep across algorithms; results are verified
+    (except in ``volume`` mode, which simulates counters only).
 
     Results are cached per session: several figures (e.g. Figure 6 and
     Figures 8/9) are different views of the same measurement campaign, exactly
     as in the paper.
     """
-    key = (family, regime, tuple(algorithms), tuple(p_values))
+    key = (family, regime, tuple(algorithms), tuple(p_values), mode)
     if key not in _SWEEP_CACHE:
         _SWEEP_CACHE[key] = sweep(
-            scenarios_for(family, regime, p_values), algorithms=tuple(algorithms), seed=0
+            scenarios_for(family, regime, p_values), algorithms=tuple(algorithms), seed=0, mode=mode
         )
     return _SWEEP_CACHE[key]
 

@@ -1,0 +1,134 @@
+"""Fast-path execution engine benchmark: legacy vs zero-copy vs volume mode.
+
+Times the same COSMA scenario sweep under the three payload transports of
+:mod:`repro.machine.transport` and verifies the speedup trajectory the
+fast-path refactor exists for:
+
+* ``zerocopy`` must beat ``legacy`` (no O(q) copies per collective);
+* ``volume`` must beat ``legacy`` by >= 10x on the shared sweep;
+* all three modes must produce identical communication counters;
+* ``volume`` mode must complete a paper-scale COSMA run (p = 1024,
+  m = n = k = 4096, limited-memory regime) that is infeasible with
+  physically copied numpy payloads.
+
+Results are written to ``BENCH_simulator.json`` in the repository root::
+
+    pytest benchmarks/bench_simulator_fastpath.py -s
+    # or, without pytest:
+    python benchmarks/bench_simulator_fastpath.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _common import print_rows
+
+from repro.experiments.harness import run_algorithm
+from repro.machine.transport import MODES
+from repro.workloads.scaling import Scenario, strong_scaling_sweep
+from repro.workloads.shapes import square_shape
+
+#: The shared sweep every mode is timed on: COSMA, square 768^3, p = 16 / 64.
+SHARED_SWEEP = tuple(strong_scaling_sweep(square_shape(768), (16, 64)))
+
+#: The paper-scale point only volume mode can reach (limited-memory regime:
+#: aggregate memory ~= 2x the input footprint, as in section 8).
+PAPER_SCALE = Scenario(
+    name="square-paper-p1024",
+    shape=square_shape(4096),
+    p=1024,
+    memory_words=101_000,
+    regime="limited",
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+def _time_mode(mode: str) -> tuple[float, list]:
+    start = time.perf_counter()
+    runs = [run_algorithm("COSMA", scenario, mode=mode, verify=False) for scenario in SHARED_SWEEP]
+    return time.perf_counter() - start, runs
+
+
+def _counter_signature(runs: list) -> list[tuple]:
+    return [
+        (
+            run.mean_words_per_rank,
+            run.max_words_per_rank,
+            run.rounds,
+            run.total_flops,
+            run.input_words_per_rank,
+            run.output_words_per_rank,
+            run.max_messages_per_rank,
+        )
+        for run in runs
+    ]
+
+
+def run_fastpath_benchmark() -> dict:
+    """Time the shared sweep in all three modes plus the paper-scale point."""
+    seconds: dict[str, float] = {}
+    signatures: dict[str, list[tuple]] = {}
+    for mode in MODES:
+        seconds[mode], runs = _time_mode(mode)
+        signatures[mode] = _counter_signature(runs)
+
+    start = time.perf_counter()
+    paper_run = run_algorithm("COSMA", PAPER_SCALE, mode="volume")
+    paper_seconds = time.perf_counter() - start
+
+    report = {
+        "shared_sweep": {
+            "algorithm": "COSMA",
+            "shape": "square m=n=k=768",
+            "p_values": [scenario.p for scenario in SHARED_SWEEP],
+            "seconds": {mode: round(seconds[mode], 4) for mode in MODES},
+            "speedup_vs_legacy": {
+                mode: round(seconds["legacy"] / seconds[mode], 2) for mode in MODES
+            },
+            "counters_identical": all(
+                signatures[mode] == signatures["legacy"] for mode in MODES
+            ),
+        },
+        "paper_scale_volume_mode": {
+            "scenario": PAPER_SCALE.name,
+            "p": PAPER_SCALE.p,
+            "shape": "square m=n=k=4096",
+            "memory_words": PAPER_SCALE.memory_words,
+            "seconds": round(paper_seconds, 2),
+            "mean_megabytes_per_rank": round(paper_run.mean_megabytes_per_rank, 3),
+            "rounds": paper_run.rounds,
+            "total_flops": paper_run.total_flops,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_simulator_fastpath():
+    report = run_fastpath_benchmark()
+    shared = report["shared_sweep"]
+    print_rows(
+        "Fast-path speedup trajectory (shared COSMA sweep)",
+        [
+            {
+                "mode": mode,
+                "seconds": shared["seconds"][mode],
+                "speedup vs legacy": shared["speedup_vs_legacy"][mode],
+            }
+            for mode in MODES
+        ],
+    )
+    print_rows("Paper-scale volume-mode run", [report["paper_scale_volume_mode"]])
+    assert shared["counters_identical"], "modes disagree on communication counters"
+    assert shared["speedup_vs_legacy"]["zerocopy"] > 1.0
+    assert shared["speedup_vs_legacy"]["volume"] >= 10.0
+    # The paper-scale point must actually complete and move data.
+    assert report["paper_scale_volume_mode"]["total_flops"] >= 2 * 4096**3
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_fastpath_benchmark(), indent=2))

@@ -24,6 +24,7 @@ import numpy as np
 from repro.machine.collectives import ring_shift
 from repro.machine.counters import CommCounters
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import as_payload, ascontiguous
 from repro.utils.intmath import ceil_div
 from repro.utils.validation import check_positive_int
 
@@ -68,8 +69,8 @@ def cannon_multiply(
         it models that variant.
     """
     p = check_positive_int(p, "p")
-    a_matrix = np.asarray(a_matrix, dtype=np.float64)
-    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    a_matrix = as_payload(a_matrix)
+    b_matrix = as_payload(b_matrix)
     m, k = a_matrix.shape
     k2, n = b_matrix.shape
     if k != k2:
@@ -84,9 +85,9 @@ def cannon_multiply(
     bm = ceil_div(m, q)
     bn = ceil_div(n, q)
     bk = ceil_div(k, q)
-    a_pad = np.zeros((bm * q, bk * q))
+    a_pad = machine.zeros((bm * q, bk * q))
     a_pad[:m, :k] = a_matrix
-    b_pad = np.zeros((bk * q, bn * q))
+    b_pad = machine.zeros((bk * q, bn * q))
     b_pad[:k, :n] = b_matrix
 
     def rank_of(i: int, j: int) -> int:
@@ -99,9 +100,9 @@ def cannon_multiply(
     for i in range(q):
         for j in range(q):
             r = rank_of(i, j)
-            a_blocks[r] = np.ascontiguousarray(a_pad[i * bm : (i + 1) * bm, j * bk : (j + 1) * bk])
-            b_blocks[r] = np.ascontiguousarray(b_pad[i * bk : (i + 1) * bk, j * bn : (j + 1) * bn])
-            c_blocks[r] = np.zeros((bm, bn))
+            a_blocks[r] = ascontiguous(a_pad[i * bm : (i + 1) * bm, j * bk : (j + 1) * bk])
+            b_blocks[r] = ascontiguous(b_pad[i * bk : (i + 1) * bk, j * bn : (j + 1) * bn])
+            c_blocks[r] = machine.zeros((bm, bn))
             machine.rank(r).put("A", a_blocks[r])
             machine.rank(r).put("B", b_blocks[r])
             machine.rank(r).put("C", c_blocks[r])
@@ -139,8 +140,8 @@ def cannon_multiply(
                 b_blocks[r] = shifted[r]
         machine.check_memory()
 
-    # Assemble (and un-pad) the result for verification.
-    c_pad = np.zeros((bm * q, bn * q))
+    # Assemble (and un-pad) the result for verification (a token in volume mode).
+    c_pad = machine.zeros((bm * q, bn * q))
     for i in range(q):
         for j in range(q):
             r = rank_of(i, j)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.baselines.cuboid import CuboidDomain, CuboidRunResult, cuboid_multiply
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import as_payload
 from repro.utils.validation import check_positive_int
 
 Range = tuple[int, int]
@@ -106,8 +107,8 @@ def carma_multiply(
     memory_words: int | None = None,
 ) -> CarmaRunResult:
     """Multiply ``A @ B`` with the CARMA decomposition on a simulated machine."""
-    a_matrix = np.asarray(a_matrix, dtype=np.float64)
-    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    a_matrix = as_payload(a_matrix)
+    b_matrix = as_payload(b_matrix)
     m, k = a_matrix.shape
     k2, n = b_matrix.shape
     if k != k2:

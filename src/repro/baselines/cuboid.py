@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.machine.counters import CommCounters
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import as_payload
 
 Range = tuple[int, int]
 
@@ -115,7 +116,7 @@ def _fetch_block(
     Parts owned by other ranks are transferred (one message per owner) and
     counted; parts owned by the receiver are free.
     """
-    block = np.zeros((rows[1] - rows[0], cols[1] - cols[0]))
+    block = machine.zeros((rows[1] - rows[0], cols[1] - cols[0]))
     local_owners = owners[rows[0] : rows[1], cols[0] : cols[1]]
     local_values = source[rows[0] : rows[1], cols[0] : cols[1]]
     for owner in np.unique(local_owners):
@@ -149,8 +150,8 @@ def cuboid_multiply(
         Optional pre-built simulator; built from ``p``/``memory_words``
         otherwise (``p`` defaults to the number of domains).
     """
-    a_matrix = np.asarray(a_matrix, dtype=np.float64)
-    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    a_matrix = as_payload(a_matrix)
+    b_matrix = as_payload(b_matrix)
     m, k = a_matrix.shape
     k2, n = b_matrix.shape
     if k != k2:
@@ -185,7 +186,7 @@ def cuboid_multiply(
     # ------------------------------------------------------------------
     # reduce partial C blocks onto the element owners and assemble the result
     # ------------------------------------------------------------------
-    c_global = np.zeros((m, n))
+    c_global = machine.zeros((m, n))
     for domain in ordered:
         i0, i1 = domain.i_range
         j0, j1 = domain.j_range

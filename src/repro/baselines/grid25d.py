@@ -23,6 +23,7 @@ import numpy as np
 from repro.machine.collectives import reduce
 from repro.machine.counters import CommCounters
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import as_payload, ascontiguous, concat_payloads
 from repro.utils.intmath import divisors, split_offsets
 from repro.utils.validation import check_positive_int
 
@@ -96,8 +97,8 @@ def grid25d_multiply(
         Optional explicit ``(q, q, c)`` grid override.
     """
     p = check_positive_int(p, "p")
-    a_matrix = np.asarray(a_matrix, dtype=np.float64)
-    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    a_matrix = as_payload(a_matrix)
+    b_matrix = as_payload(b_matrix)
     m, k = a_matrix.shape
     k2, n = b_matrix.shape
     if k != k2:
@@ -137,9 +138,9 @@ def grid25d_multiply(
                 j0, j1 = j_ranges[j]
                 ak0, ak1 = a_slices[j]
                 bk0, bk1 = b_slices[i]
-                local_a[r] = np.ascontiguousarray(a_matrix[i0:i1, ak0:ak1])
-                local_b[r] = np.ascontiguousarray(b_matrix[bk0:bk1, j0:j1])
-                local_c[r] = np.zeros((i1 - i0, j1 - j0))
+                local_a[r] = ascontiguous(a_matrix[i0:i1, ak0:ak1])
+                local_b[r] = ascontiguous(b_matrix[bk0:bk1, j0:j1])
+                local_c[r] = machine.zeros((i1 - i0, j1 - j0))
                 machine.rank(r).put("A", local_a[r])
                 machine.rank(r).put("B", local_b[r])
                 machine.rank(r).put("C", local_c[r])
@@ -166,7 +167,7 @@ def grid25d_multiply(
                         a_parts.append(piece)
                     else:
                         a_parts.append(machine.send(owner, r, piece, kind="input"))
-                a_panel = np.concatenate(a_parts, axis=1)
+                a_panel = concat_payloads(a_parts, axis=1)
                 # Gather the B panel B[layer k-slice, j-block] from the process column.
                 b_parts: list[np.ndarray] = []
                 for ii in range(qm):
@@ -176,12 +177,12 @@ def grid25d_multiply(
                         b_parts.append(piece)
                     else:
                         b_parts.append(machine.send(owner, r, piece, kind="input"))
-                b_panel = np.concatenate(b_parts, axis=0)
+                b_panel = concat_payloads(b_parts, axis=0)
                 machine.local_multiply(r, a_panel, b_panel, accumulate_into=local_c[r])
         machine.check_memory()
 
     # Reduce the per-layer partial C blocks across layers onto layer 0.
-    c_global = np.zeros((m, n))
+    c_global = machine.zeros((m, n))
     for i in range(qm):
         for j in range(qn):
             fiber = [rank_of(i, j, layer) for layer in range(c)]

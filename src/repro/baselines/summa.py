@@ -22,6 +22,7 @@ import numpy as np
 from repro.machine.collectives import broadcast
 from repro.machine.counters import CommCounters
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import as_payload, ascontiguous, concat_payloads
 from repro.utils.intmath import divisors, split_offsets
 from repro.utils.validation import check_positive_int
 
@@ -85,8 +86,8 @@ def summa_multiply(
         limit is given).
     """
     p = check_positive_int(p, "p")
-    a_matrix = np.asarray(a_matrix, dtype=np.float64)
-    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    a_matrix = as_payload(a_matrix)
+    b_matrix = as_payload(b_matrix)
     m, k = a_matrix.shape
     k2, n = b_matrix.shape
     if k != k2:
@@ -128,9 +129,9 @@ def summa_multiply(
             j0, j1 = j_ranges[j]
             ak0, ak1 = k_col_slices[j]
             bk0, bk1 = k_row_slices[i]
-            local_a[r] = np.ascontiguousarray(a_matrix[i0:i1, ak0:ak1])
-            local_b[r] = np.ascontiguousarray(b_matrix[bk0:bk1, j0:j1])
-            local_c[r] = np.zeros((i1 - i0, j1 - j0))
+            local_a[r] = ascontiguous(a_matrix[i0:i1, ak0:ak1])
+            local_b[r] = ascontiguous(b_matrix[bk0:bk1, j0:j1])
+            local_c[r] = machine.zeros((i1 - i0, j1 - j0))
             machine.rank(r).put("A", local_a[r])
             machine.rank(r).put("B", local_b[r])
             machine.rank(r).put("C", local_c[r])
@@ -154,7 +155,7 @@ def summa_multiply(
                 piece = local_a[owner][:, lo - ak0 : hi - ak0]
                 received = broadcast(machine, owner, row_ranks, piece, kind="input")
                 parts.append(received[owner])
-            panel = np.concatenate(parts, axis=1) if parts else np.zeros((i1 - i0, 0))
+            panel = concat_payloads(parts, axis=1) if parts else machine.zeros((i1 - i0, 0))
             a_panel_by_row.append(panel)
 
         # Broadcast this panel's B pieces along every process column.
@@ -172,7 +173,7 @@ def summa_multiply(
                 piece = local_b[owner][lo - bk0 : hi - bk0, :]
                 received = broadcast(machine, owner, col_ranks, piece, kind="input")
                 parts.append(received[owner])
-            panel = np.concatenate(parts, axis=0) if parts else np.zeros((0, j1 - j0))
+            panel = concat_payloads(parts, axis=0) if parts else machine.zeros((0, j1 - j0))
             b_panel_by_col.append(panel)
 
         # Local rank-nb updates.
@@ -185,8 +186,8 @@ def summa_multiply(
                     machine.local_multiply(r, a_panel, b_panel, accumulate_into=local_c[r])
         machine.check_memory()
 
-    # Assemble the result for verification.
-    c_global = np.zeros((m, n))
+    # Assemble the result for verification (a shape token in volume mode).
+    c_global = machine.zeros((m, n))
     for i in range(pm):
         for j in range(pn):
             i0, i1 = i_ranges[i]

@@ -30,6 +30,7 @@ from repro.machine.collectives import broadcast, reduce
 from repro.machine.counters import CommCounters
 from repro.machine.rma import rma_get
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import as_payload
 
 
 @dataclass
@@ -88,8 +89,8 @@ def cosma_multiply(
         Use one-sided gets for the panel exchange instead of broadcast trees
         (section 7.4); the volume is identical, the round accounting differs.
     """
-    a_matrix = np.asarray(a_matrix, dtype=np.float64)
-    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    a_matrix = as_payload(a_matrix)
+    b_matrix = as_payload(b_matrix)
     m, k = a_matrix.shape
     k2, n = b_matrix.shape
     if k != k2:
@@ -110,7 +111,7 @@ def cosma_multiply(
     for domain in decomposition.domains:
         lm = domain.i_range[1] - domain.i_range[0]
         ln = domain.j_range[1] - domain.j_range[0]
-        machine.rank(domain.rank).put("C_acc", np.zeros((lm, ln)))
+        machine.rank(domain.rank).put("C_acc", machine.zeros((lm, ln)))
 
     domains_by_rank = {d.rank: d for d in decomposition.domains}
     round_volumes: list[int] = []
@@ -125,7 +126,9 @@ def cosma_multiply(
     step = decomposition.step_size
     offsets = list(range(0, max_lk, step))
     for chunk_index, chunk_offset in enumerate(offsets):
-        before = machine.counters.snapshot()
+        # Round-delta tracking: mark the per-rank totals instead of deep
+        # copying the whole counter set every round.
+        machine.counters.mark_round_start()
 
         def chunk_bounds(domain):
             k0, k1 = domain.k_range
@@ -144,7 +147,7 @@ def cosma_multiply(
                     continue
                 lm = sample.i_range[1] - sample.i_range[0]
                 for r in fiber:
-                    a_chunks[r] = np.zeros((lm, c1 - c0))
+                    a_chunks[r] = machine.zeros((lm, c1 - c0))
                 for owner_rank in fiber:
                     owner = domains_by_rank[owner_rank]
                     o0, o1 = owner.a_owned_k_range
@@ -155,7 +158,7 @@ def cosma_multiply(
                     if use_rma:
                         for r in fiber:
                             delivered = (
-                                piece.copy()
+                                machine.transport.self_copy(piece)
                                 if r == owner_rank
                                 else rma_get(machine, r, owner_rank, piece)
                             )
@@ -176,7 +179,7 @@ def cosma_multiply(
                     continue
                 ln = sample.j_range[1] - sample.j_range[0]
                 for r in fiber:
-                    b_chunks[r] = np.zeros((c1 - c0, ln))
+                    b_chunks[r] = machine.zeros((c1 - c0, ln))
                 for owner_rank in fiber:
                     owner = domains_by_rank[owner_rank]
                     o0, o1 = owner.b_owned_k_range
@@ -187,7 +190,7 @@ def cosma_multiply(
                     if use_rma:
                         for r in fiber:
                             delivered = (
-                                piece.copy()
+                                machine.transport.self_copy(piece)
                                 if r == owner_rank
                                 else rma_get(machine, r, owner_rank, piece)
                             )
@@ -207,19 +210,14 @@ def cosma_multiply(
             )
 
         num_rounds += 1
-        after = machine.counters
-        delta = max(
-            after.per_rank[r].total_words - before.per_rank[r].total_words
-            for r in range(machine.p)
-        )
-        round_volumes.append(int(delta))
+        round_volumes.append(int(machine.counters.max_round_delta()))
         machine.check_memory()
         machine.log_round(f"cosma-step-{chunk_index}")
 
     # ------------------------------------------------------------------
     # reduce the partial C blocks along the k fibers onto the owners
     # ------------------------------------------------------------------
-    c_global = np.zeros((m, n))
+    c_global = machine.zeros((m, n))
     for pi in range(gridspec.pm):
         for pj in range(gridspec.pn):
             fiber = decomposition.k_fiber(pi, pj)

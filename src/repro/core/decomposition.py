@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.grid import GridFit, ProcessorGrid, fit_ranks
+from repro.machine.transport import as_payload, ascontiguous
 from repro.utils.intmath import split_offsets
 from repro.utils.validation import check_positive_int
 
@@ -224,8 +225,8 @@ def distribute_matrices(
     layout -- converting from block-cyclic is a separate, counted
     preprocessing step, see :mod:`repro.layouts.conversion`).
     """
-    a_matrix = np.asarray(a_matrix, dtype=np.float64)
-    b_matrix = np.asarray(b_matrix, dtype=np.float64)
+    a_matrix = as_payload(a_matrix)
+    b_matrix = as_payload(b_matrix)
     if a_matrix.shape != (decomposition.m, decomposition.k):
         raise ValueError(
             f"A has shape {a_matrix.shape}, expected {(decomposition.m, decomposition.k)}"
@@ -241,7 +242,7 @@ def distribute_matrices(
         ak0, ak1 = domain.a_owned_k_range
         bk0, bk1 = domain.b_owned_k_range
         owned[domain.rank] = {
-            "A": np.ascontiguousarray(a_matrix[i0:i1, ak0:ak1]),
-            "B": np.ascontiguousarray(b_matrix[bk0:bk1, j0:j1]),
+            "A": ascontiguous(a_matrix[i0:i1, ak0:ak1]),
+            "B": ascontiguous(b_matrix[bk0:bk1, j0:j1]),
         }
     return owned

@@ -4,7 +4,14 @@ The harness plays the role of the paper's job scripts + mpiP profiling: it
 builds a fresh :class:`~repro.machine.simulator.DistributedMachine` for every
 (algorithm, scenario) pair, generates the input matrices, runs the algorithm,
 verifies the numerical result against ``A @ B`` and records the communication
-counters.
+counters.  Every run additionally asserts word conservation (every word sent
+was received by exactly one rank).
+
+Runs accept a ``mode`` (``legacy`` / ``zerocopy`` / ``volume``, see
+:mod:`repro.machine.transport`).  In volume mode the inputs are shape tokens
+-- no matrices are generated or multiplied -- so numerical verification is
+skipped; all communication counters are identical to the other modes, which
+is what allows sweeps at the paper's true scale.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from repro.baselines.grid25d import grid25d_multiply
 from repro.baselines.summa import summa_multiply
 from repro.core.cosma import cosma_multiply
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import MODES, ShapeToken
 from repro.workloads.scaling import Scenario
 
 
@@ -29,6 +37,8 @@ class AlgorithmRun:
 
     algorithm: str
     scenario: Scenario
+    #: Whether the result matched ``A @ B`` -- True when verification was
+    #: skipped (see ``verified``).
     correct: bool
     #: Average words moved (sent + received) per rank -- Table 4's metric.
     mean_words_per_rank: float
@@ -48,6 +58,10 @@ class AlgorithmRun:
     output_words_per_rank: float
     #: Number of messages on the busiest rank.
     max_messages_per_rank: int
+    #: Execution mode the run used (``legacy`` / ``zerocopy`` / ``volume``).
+    mode: str = "legacy"
+    #: Whether the numerical result was actually checked against ``A @ B``.
+    verified: bool = True
 
     @property
     def mean_megabytes_per_rank(self) -> float:
@@ -107,23 +121,40 @@ def run_algorithm(
     scenario: Scenario,
     seed: int = 0,
     verify: bool = True,
+    mode: str = "legacy",
 ) -> AlgorithmRun:
-    """Run one algorithm on one scenario and collect its metrics."""
+    """Run one algorithm on one scenario and collect its metrics.
+
+    ``mode`` selects the payload transport; in ``"volume"`` mode the inputs
+    are shape tokens and numerical verification is skipped (counters only).
+    Every run ends with a word-conservation assertion
+    (:meth:`~repro.machine.counters.CommCounters.assert_conservation`).
+    """
     if name not in ALGORITHMS:
         raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
     shape = scenario.shape
-    a_matrix, b_matrix = shape.random_matrices(seed=seed)
-    machine = DistributedMachine(scenario.p, memory_words=scenario.memory_words)
+    if mode == "volume":
+        a_matrix: np.ndarray | ShapeToken = ShapeToken((shape.m, shape.k))
+        b_matrix: np.ndarray | ShapeToken = ShapeToken((shape.k, shape.n))
+    else:
+        a_matrix, b_matrix = shape.random_matrices(seed=seed)
+    machine = DistributedMachine(scenario.p, memory_words=scenario.memory_words, mode=mode)
     product = ALGORITHMS[name](a_matrix, b_matrix, scenario, machine)
+    verified = bool(verify) and mode != "volume"
     correct = True
-    if verify:
+    if verified:
         correct = bool(np.allclose(product, a_matrix @ b_matrix, atol=1e-8 * shape.k))
+    machine.counters.assert_conservation()
     counters = machine.counters
     per_rank = counters.per_rank
     return AlgorithmRun(
         algorithm=name,
         scenario=scenario,
         correct=correct,
+        mode=mode,
+        verified=verified,
         mean_words_per_rank=counters.mean_words_per_rank(),
         mean_received_per_rank=counters.mean_received_per_rank(),
         max_words_per_rank=counters.max_words_per_rank(),
@@ -142,9 +173,13 @@ def run_scenario(
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
     seed: int = 0,
     verify: bool = True,
+    mode: str = "legacy",
 ) -> dict[str, AlgorithmRun]:
     """Run several algorithms on the same scenario (same input matrices)."""
-    return {name: run_algorithm(name, scenario, seed=seed, verify=verify) for name in algorithms}
+    return {
+        name: run_algorithm(name, scenario, seed=seed, verify=verify, mode=mode)
+        for name in algorithms
+    }
 
 
 def sweep(
@@ -152,13 +187,14 @@ def sweep(
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
     seed: int = 0,
     verify: bool = True,
+    mode: str = "legacy",
 ) -> list[AlgorithmRun]:
     """Run the full cross product of scenarios and algorithms."""
     algorithms = tuple(algorithms)
     runs: list[AlgorithmRun] = []
     for scenario in scenarios:
         for name in algorithms:
-            runs.append(run_algorithm(name, scenario, seed=seed, verify=verify))
+            runs.append(run_algorithm(name, scenario, seed=seed, verify=verify, mode=mode))
     return runs
 
 

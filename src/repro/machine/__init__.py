@@ -11,10 +11,11 @@ The paper's experiments measure two kinds of data movement:
   mpiP profiler used in the paper.
 """
 
-from repro.machine.counters import CommCounters, RankCounters
+from repro.machine.counters import CommCounters, ConservationError, RankCounters
 from repro.machine.memory import AccessStats, LRUCacheMemory, MemoryHierarchy
 from repro.machine.simulator import DistributedMachine, Rank
 from repro.machine.topology import MachineSpec, PIZ_DAINT_LIKE, laptop_spec
+from repro.machine.transport import MODES, ShapeToken, Transport, make_transport
 from repro.machine.tree import BroadcastTree, binomial_tree, topology_aware_tree
 
 __all__ = [
@@ -25,6 +26,11 @@ __all__ = [
     "Rank",
     "CommCounters",
     "RankCounters",
+    "ConservationError",
+    "MODES",
+    "ShapeToken",
+    "Transport",
+    "make_transport",
     "MachineSpec",
     "PIZ_DAINT_LIKE",
     "laptop_spec",

@@ -19,6 +19,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import payload_view
 
 
 def _reorder_for_root(ranks: Sequence[int], root: int) -> list[int]:
@@ -48,7 +49,7 @@ def broadcast(
     """
     order = _reorder_for_root(ranks, root)
     q = len(order)
-    received: dict[int, np.ndarray] = {root: np.asarray(block)}
+    received: dict[int, np.ndarray] = {root: payload_view(block)}
     # Binomial tree: in round r, position i < 2**r sends to position i + 2**r.
     span = 1
     while span < q:
@@ -83,9 +84,11 @@ def reduce(
     for r in order:
         if r not in blocks:
             raise ValueError(f"rank {r} has no block to reduce")
-        partial[r] = np.array(blocks[r], copy=True)
+        partial[r] = machine.transport.clone(blocks[r])
     # Mirror of the broadcast tree: in round r (from the top), position
-    # i + span sends to position i, which accumulates.
+    # i + span sends to position i, which accumulates.  Both the default sum
+    # and custom operators are combined through the machine so the reduction
+    # flops are accounted either way.
     span = 1
     while span < q:
         span *= 2
@@ -97,10 +100,7 @@ def reduce(
                 continue
             src, dst = order[partner], order[pos]
             incoming = machine.send(src, dst, partial[src], kind=kind)
-            if op is None:
-                machine.local_add(dst, partial[dst], incoming)
-            else:
-                partial[dst] = op(partial[dst], incoming)
+            partial[dst] = machine.local_combine(dst, partial[dst], incoming, op=op)
         span //= 2
     return partial[root]
 
@@ -135,7 +135,7 @@ def reduce_scatter_blocks(
         own = contributions.get(dst, {}).get(dst)
         if own is None:
             raise ValueError(f"rank {dst} is missing its own contribution")
-        acc = np.array(own, copy=True)
+        acc = machine.transport.clone(own)
         for src in ranks:
             if src == dst:
                 continue
@@ -163,7 +163,7 @@ def allgather(
     q = len(order)
     gathered: dict[int, list[np.ndarray]] = {r: [None] * q for r in order}  # type: ignore[list-item]
     for pos, r in enumerate(order):
-        gathered[r][pos] = np.asarray(blocks[r])
+        gathered[r][pos] = payload_view(blocks[r])
     # Ring: in step s, rank at position pos sends the block it received s steps
     # ago to its right neighbour.
     for step in range(q - 1):
@@ -191,7 +191,7 @@ def scatter(
         if r not in pieces:
             raise ValueError(f"scatter is missing the piece for rank {r}")
         if r == root:
-            out[r] = np.asarray(pieces[r]).copy()
+            out[r] = machine.transport.self_copy(pieces[r])
         else:
             out[r] = machine.send(root, r, pieces[r], kind=kind)
     return out
@@ -216,7 +216,7 @@ def ring_shift(
     for pos, r in enumerate(order):
         dst = order[(pos - displacement) % q]
         if dst == r:
-            out[r] = np.asarray(blocks[r]).copy()
+            out[r] = machine.transport.self_copy(blocks[r])
         else:
             out[dst] = machine.send(r, dst, blocks[r], kind=kind, count_round=False)
     for r in order:

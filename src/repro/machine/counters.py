@@ -8,7 +8,11 @@ series of Figures 6-7 and the per-rank averages of Table 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+
+class ConservationError(RuntimeError):
+    """Raised when the machine-wide sent and received word totals disagree."""
 
 
 @dataclass
@@ -28,6 +32,9 @@ class RankCounters:
     input_words: int = 0
     #: Words communicated attributable to the output matrix C.
     output_words: int = 0
+    #: ``total_words`` recorded at the last :meth:`mark_round_start` call --
+    #: incremental round-delta tracking that replaces per-round deep copies.
+    round_start_words: int = 0
 
     @property
     def total_words(self) -> int:
@@ -38,17 +45,16 @@ class RankCounters:
     def total_messages(self) -> int:
         return self.messages_sent + self.messages_received
 
+    def mark_round_start(self) -> None:
+        """Remember the current total words so the round's delta can be read off."""
+        self.round_start_words = self.words_sent + self.words_received
+
+    def round_delta_words(self) -> int:
+        """Words moved through this rank since the last :meth:`mark_round_start`."""
+        return self.words_sent + self.words_received - self.round_start_words
+
     def copy(self) -> "RankCounters":
-        return RankCounters(
-            words_sent=self.words_sent,
-            words_received=self.words_received,
-            messages_sent=self.messages_sent,
-            messages_received=self.messages_received,
-            flops=self.flops,
-            rounds=self.rounds,
-            input_words=self.input_words,
-            output_words=self.output_words,
-        )
+        return RankCounters(**{f.name: getattr(self, f.name) for f in fields(RankCounters)})
 
 
 @dataclass
@@ -113,16 +119,31 @@ class CommCounters:
         """Every word sent must have been received by exactly one rank."""
         return self.total_words_sent == self.total_words_received
 
-    def reset(self) -> None:
+    def assert_conservation(self) -> None:
+        """Raise :class:`ConservationError` unless sent == received machine-wide."""
+        if not self.conservation_ok():
+            raise ConservationError(
+                f"word conservation violated: {self.total_words_sent} words sent "
+                f"but {self.total_words_received} received"
+            )
+
+    def mark_round_start(self) -> None:
+        """Mark the start of a communication round on every rank."""
         for rank in self.per_rank:
-            rank.words_sent = 0
-            rank.words_received = 0
-            rank.messages_sent = 0
-            rank.messages_received = 0
-            rank.flops = 0
-            rank.rounds = 0
-            rank.input_words = 0
-            rank.output_words = 0
+            rank.mark_round_start()
+
+    def max_round_delta(self) -> int:
+        """Maximum words any rank moved since the last :meth:`mark_round_start`."""
+        return max((r.round_delta_words() for r in self.per_rank), default=0)
+
+    def reset(self) -> None:
+        # Field-driven so newly added counters can never be silently missed; a
+        # fresh instance per rank supplies every field's default (covering
+        # default_factory fields too, without sharing mutable defaults).
+        for rank in self.per_rank:
+            blank = RankCounters()
+            for spec in fields(RankCounters):
+                setattr(rank, spec.name, getattr(blank, spec.name))
 
     def snapshot(self) -> "CommCounters":
         """Deep copy of the current counters (for before/after diffing)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import payload_words
 
 
 def rma_get(
@@ -31,9 +32,8 @@ def rma_get(
     but only the origin's round counter advances -- the target does not
     participate actively.
     """
-    block = np.asarray(block)
     if origin == target:
-        return block.copy()
+        return machine.transport.self_copy(block)
     delivered = machine.send(target, origin, block, kind=kind, count_round=False)
     machine.rank(origin).counters.rounds += 1
     return delivered
@@ -47,9 +47,8 @@ def rma_put(
     kind: str = "input",
 ) -> np.ndarray:
     """One-sided put: ``origin`` writes ``block`` into ``target``'s memory."""
-    block = np.asarray(block)
     if origin == target:
-        return block.copy()
+        return machine.transport.self_copy(block)
     delivered = machine.send(origin, target, block, kind=kind, count_round=False)
     machine.rank(origin).counters.rounds += 1
     return delivered
@@ -69,9 +68,8 @@ def rma_accumulate(
     rank's flop counter (the NIC/host performs it there), the round only to the
     origin.
     """
-    block = np.asarray(block)
     if origin == target:
-        machine.rank(target).counters.flops += int(block.size)
+        machine.rank(target).counters.flops += payload_words(block)
         target_buffer += block
         return target_buffer
     delivered = machine.send(origin, target, block, kind=kind, count_round=False)

@@ -14,17 +14,48 @@ same "MB communicated per rank" quantity that the paper measures with mpiP.
 The simulator does not try to model time directly; the analytic performance
 model in :mod:`repro.experiments.perf_model` converts the counters into
 simulated runtimes using an alpha-beta-gamma model.
+
+Execution modes
+---------------
+
+The physical representation of payloads is pluggable (``mode=`` argument,
+see :mod:`repro.machine.transport`); all communication counters are identical
+across modes because accounting only ever reads payload shapes:
+
+``legacy``
+    Every delivery is a private writable numpy copy -- the reference
+    semantics.  Preserves numerics; slowest (O(q) copies per binomial-tree
+    collective over ``q`` ranks).
+``zerocopy``
+    Deliveries are shared read-only numpy views (``writeable=False``).
+    Preserves numerics bit-for-bit (receivers only read payloads; writers
+    that would violate MPI no-aliasing semantics raise); eliminates the
+    per-hop payload copies.
+``volume``
+    Payloads are :class:`~repro.machine.transport.ShapeToken` shape
+    descriptors with no numpy allocation at all; local multiplies update only
+    the flop counters and results cannot be verified numerically.  Preserves
+    every communication counter exactly; orders of magnitude faster, enabling
+    sweeps at the paper's true scale (thousands of ranks).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.machine.counters import CommCounters, RankCounters
 from repro.machine.topology import MachineSpec, laptop_spec
+from repro.machine.transport import (
+    ShapeToken,
+    Transport,
+    is_token,
+    make_transport,
+    payload_shape,
+    payload_words,
+)
 from repro.utils.validation import check_positive_int
 
 
@@ -51,20 +82,32 @@ class Rank:
     rank_id: int
     store: dict[str, np.ndarray] = field(default_factory=dict)
     counters: RankCounters = field(default_factory=RankCounters)
+    #: Incrementally maintained resident footprint (kept in sync by put/pop,
+    #: so check_memory never has to rescan the whole store).
+    _resident_words: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self._resident_words = int(sum(payload_words(b) for b in self.store.values()))
 
     def resident_words(self) -> int:
         """Number of words currently resident in this rank's local memory."""
-        return int(sum(block.size for block in self.store.values()))
+        return self._resident_words
 
     def put(self, name: str, block: np.ndarray) -> None:
         """Place ``block`` into the local store under ``name``."""
+        old = self.store.get(name)
+        if old is not None:
+            self._resident_words -= payload_words(old)
         self.store[name] = block
+        self._resident_words += payload_words(block)
 
     def get(self, name: str) -> np.ndarray:
         return self.store[name]
 
     def pop(self, name: str) -> np.ndarray:
-        return self.store.pop(name)
+        block = self.store.pop(name)
+        self._resident_words -= payload_words(block)
+        return block
 
     def has(self, name: str) -> bool:
         return name in self.store
@@ -89,6 +132,10 @@ class DistributedMachine:
         Whether :meth:`check_memory` raises (True) or merely records the peak
         usage (False).  Algorithms call ``check_memory`` at the end of every
         communication round.
+    mode:
+        Payload transport: ``"legacy"`` (copy per delivery), ``"zerocopy"``
+        (shared read-only views) or ``"volume"`` (counters-only shape tokens);
+        see the module docstring and :mod:`repro.machine.transport`.
     """
 
     def __init__(
@@ -97,8 +144,10 @@ class DistributedMachine:
         memory_words: int | None = None,
         spec: MachineSpec | None = None,
         enforce_memory: bool = False,
+        mode: str = "legacy",
     ) -> None:
         self.p = check_positive_int(p, "p")
+        self.transport: Transport = make_transport(mode)
         if spec is None:
             spec = laptop_spec(memory_words or (1 << 20))
         self.spec = spec
@@ -123,6 +172,15 @@ class DistributedMachine:
     def __len__(self) -> int:
         return self.p
 
+    @property
+    def mode(self) -> str:
+        """The active transport mode (``legacy`` / ``zerocopy`` / ``volume``)."""
+        return self.transport.mode
+
+    def zeros(self, shape: Sequence[int]):
+        """A zero-initialized local payload (an array, or a token in volume mode)."""
+        return self.transport.zeros(shape)
+
     # ------------------------------------------------------------------
     # point-to-point communication
     # ------------------------------------------------------------------
@@ -136,20 +194,20 @@ class DistributedMachine:
     ) -> np.ndarray:
         """Transfer ``block`` from rank ``src`` to rank ``dst``.
 
-        Returns the array object delivered at ``dst`` (a copy, so that sender
-        and receiver never alias the same buffer, mirroring MPI semantics).
-        A transfer from a rank to itself is free, as in MPI shared-memory
-        shortcuts -- no counters are updated.
+        Returns the payload delivered at ``dst``: a private copy in legacy
+        mode (sender and receiver never alias the same buffer, mirroring MPI
+        semantics), a shared read-only view in zerocopy mode, or a shape
+        token in volume mode.  A transfer from a rank to itself is free, as
+        in MPI shared-memory shortcuts -- no counters are updated.
 
         ``kind`` is either ``"input"`` (matrices A/B) or ``"output"``
         (partial/final C); Figure 12 reports these separately.
         """
-        block = np.asarray(block)
         if src == dst:
-            return block.copy()
+            return self.transport.self_copy(block)
         sender = self.rank(src)
         receiver = self.rank(dst)
-        words = int(block.size)
+        words = payload_words(block)
         sender.counters.words_sent += words
         sender.counters.messages_sent += 1
         receiver.counters.words_received += words
@@ -163,7 +221,7 @@ class DistributedMachine:
         if count_round:
             sender.counters.rounds += 1
             receiver.counters.rounds += 1
-        return block.copy()
+        return self.transport.deliver(block)
 
     def sendrecv(
         self,
@@ -195,39 +253,78 @@ class DistributedMachine:
         """Perform a local (BLAS-like) multiplication on ``rank_id``.
 
         Counts ``2 * m * n * k`` flops and returns the (possibly accumulated)
-        product.
+        product.  With token payloads (volume mode) only the flop counter is
+        updated and a token of the product's shape is returned.
         """
         rank = self.rank(rank_id)
-        a_block = np.asarray(a_block, dtype=np.float64)
-        b_block = np.asarray(b_block, dtype=np.float64)
-        if a_block.ndim != 2 or b_block.ndim != 2:
+        counters_only = is_token(a_block) or is_token(b_block) or is_token(accumulate_into)
+        if not counters_only:
+            a_block = np.asarray(a_block, dtype=np.float64)
+            b_block = np.asarray(b_block, dtype=np.float64)
+        # Validation and flop accounting are shared across modes so the two
+        # representations can never diverge.
+        a_shape = payload_shape(a_block)
+        b_shape = payload_shape(b_block)
+        if len(a_shape) != 2 or len(b_shape) != 2:
             raise ValueError("local_multiply expects 2-D blocks")
-        if a_block.shape[1] != b_block.shape[0]:
+        if a_shape[1] != b_shape[0]:
+            raise ValueError(f"inner dimensions do not match: {a_shape} x {b_shape}")
+        m, k = a_shape
+        n = b_shape[1]
+        if accumulate_into is not None and payload_shape(accumulate_into) != (m, n):
             raise ValueError(
-                f"inner dimensions do not match: {a_block.shape} x {b_block.shape}"
+                f"accumulation buffer shape {payload_shape(accumulate_into)} "
+                f"does not match product {(m, n)}"
             )
-        m, k = a_block.shape
-        _, n = b_block.shape
         rank.counters.flops += 2 * m * n * k
+        if counters_only:
+            return ShapeToken((m, n)) if accumulate_into is None else accumulate_into
         product = a_block @ b_block
         if accumulate_into is None:
             return product
-        if accumulate_into.shape != product.shape:
-            raise ValueError(
-                f"accumulation buffer shape {accumulate_into.shape} does not match product {product.shape}"
-            )
         accumulate_into += product
         return accumulate_into
 
     def local_add(self, rank_id: int, target: np.ndarray, other: np.ndarray) -> np.ndarray:
         """Accumulate ``other`` into ``target`` on ``rank_id`` (reduction flops)."""
         rank = self.rank(rank_id)
+        if is_token(target) or is_token(other):
+            if payload_shape(target) != payload_shape(other):
+                raise ValueError(
+                    f"shape mismatch in local_add: {payload_shape(target)} vs {payload_shape(other)}"
+                )
+            rank.counters.flops += payload_words(target)
+            return target
         other = np.asarray(other)
         if target.shape != other.shape:
             raise ValueError(f"shape mismatch in local_add: {target.shape} vs {other.shape}")
         rank.counters.flops += int(target.size)
         target += other
         return target
+
+    def local_combine(
+        self,
+        rank_id: int,
+        target: np.ndarray,
+        other: np.ndarray,
+        op=None,
+    ) -> np.ndarray:
+        """Combine ``other`` into ``target`` with a reduction operator.
+
+        ``op=None`` is element-wise addition (in place, via
+        :meth:`local_add`).  A custom ``op`` is applied out of place and its
+        result returned; either way one flop per output element is charged to
+        ``rank_id``, so reductions are accounted identically no matter which
+        operator the collective uses.  In volume mode the operator is not
+        invoked (payloads carry no data) and the target token is returned.
+        """
+        if op is None:
+            return self.local_add(rank_id, target, other)
+        rank = self.rank(rank_id)
+        rank.counters.flops += payload_words(target)
+        if is_token(target) or is_token(other):
+            return target
+        return op(target, other)
 
     # ------------------------------------------------------------------
     # memory accounting

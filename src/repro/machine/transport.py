@@ -1,0 +1,317 @@
+"""Pluggable payload transports for the distributed machine simulator.
+
+The simulator's communication accounting only ever inspects the *shape* of a
+payload (``block.size`` words per transfer), never its values.  That makes the
+physical representation of a payload a policy choice, factored out here into
+three interchangeable transports:
+
+``legacy``
+    The original reference semantics: every delivery is a private, writable
+    ``numpy`` copy, so sender and receiver never alias the same buffer (the
+    strictest reading of MPI's no-aliasing rule).  A binomial-tree broadcast
+    over ``q`` ranks therefore performs ``q - 1`` physical copies.
+
+``zerocopy``
+    Deliveries are shared *read-only* views (``writeable=False``) of the
+    sender's buffer.  Numerics are bit-identical to ``legacy`` -- receivers
+    only ever read delivered panels -- but the O(q) payload copies per
+    collective disappear.  Any attempt to write through a delivered view
+    raises, which keeps MPI no-aliasing semantics enforceable for writers.
+
+``volume``
+    Payloads are :class:`ShapeToken` objects: lightweight shape descriptors
+    with no numpy allocation at all.  Local multiplies update only the flop
+    counters and result verification is skipped.  All communication counters
+    (words, messages, rounds, input/output split) are byte-identical to the
+    other modes because every counter update is derived from payload shapes
+    alone -- this is what lets scenario sweeps run at the paper's true scale
+    (``p`` in the thousands, matrices of 10^4+ rows).
+
+Algorithms stay mode-agnostic by building payloads through
+:meth:`~repro.machine.simulator.DistributedMachine.zeros` and the helpers in
+this module (:func:`as_payload`, :func:`ascontiguous`,
+:func:`concat_payloads`) instead of calling numpy directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+#: The supported execution modes, in "most faithful" to "fastest" order.
+MODES = ("legacy", "zerocopy", "volume")
+
+
+class ShapeToken:
+    """A counters-only payload: a shape with no backing storage.
+
+    Supports exactly the subset of the ``numpy.ndarray`` interface the
+    simulator's algorithms use on payloads -- ``shape``/``size``/``ndim``,
+    basic and boolean-mask ``__getitem__`` (returning new tokens),
+    size-checked no-op ``__setitem__`` and ``+=``, ``copy`` and ``T`` -- so
+    algorithm code paths are identical across modes and the communication
+    counters come out byte-for-byte the same.
+    """
+
+    __slots__ = ("shape",)
+
+    #: Tokens stand in for float64 payloads (one word per element).
+    dtype = np.dtype(np.float64)
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        self.shape = tuple(int(extent) for extent in shape)
+        if any(extent < 0 for extent in self.shape):
+            raise ValueError(f"negative extent in token shape {self.shape}")
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def T(self) -> "ShapeToken":  # noqa: N802 - numpy interface
+        return ShapeToken(self.shape[::-1])
+
+    def copy(self) -> "ShapeToken":
+        return ShapeToken(self.shape)
+
+    def __len__(self) -> int:
+        if not self.shape:
+            raise TypeError("len() of a 0-d ShapeToken")
+        return self.shape[0]
+
+    def __repr__(self) -> str:
+        return f"ShapeToken(shape={self.shape})"
+
+    # -- indexing ---------------------------------------------------------
+    def __getitem__(self, key) -> "ShapeToken":
+        if isinstance(key, np.ndarray) and key.dtype == np.bool_:
+            if key.shape != self.shape:
+                raise IndexError(
+                    f"boolean mask of shape {key.shape} does not match token shape {self.shape}"
+                )
+            return ShapeToken((int(np.count_nonzero(key)),))
+        if not isinstance(key, tuple):
+            key = (key,)
+        if any(entry is Ellipsis for entry in key):
+            position = key.index(Ellipsis)
+            fill = len(self.shape) - (len(key) - 1)
+            key = key[:position] + (slice(None),) * max(0, fill) + key[position + 1 :]
+        if len(key) > len(self.shape):
+            raise IndexError(f"too many indices for token of shape {self.shape}")
+        dims: list[int] = []
+        for axis, entry in enumerate(key):
+            extent = self.shape[axis]
+            if isinstance(entry, slice):
+                dims.append(len(range(*entry.indices(extent))))
+            elif isinstance(entry, (int, np.integer)):
+                if not -extent <= int(entry) < extent:
+                    raise IndexError(f"index {entry} out of bounds for extent {extent}")
+                # integer index drops the axis
+            else:
+                raise TypeError(f"ShapeToken does not support index {entry!r}")
+        dims.extend(self.shape[len(key) :])
+        return ShapeToken(tuple(dims))
+
+    def __setitem__(self, key, value) -> None:
+        # Writes carry no data in volume mode; broadcast compatibility of the
+        # assignment is still checked so shape bugs surface exactly where the
+        # numpy-backed modes would raise.
+        _check_broadcastable(self[key].shape, value, "assign")
+
+    # -- arithmetic (accumulation no-ops) ---------------------------------
+    def __iadd__(self, other) -> "ShapeToken":
+        _check_broadcastable(self.shape, other, "add")
+        return self
+
+    def __add__(self, other) -> "ShapeToken":
+        _check_broadcastable(self.shape, other, "add")
+        return ShapeToken(self.shape)
+
+    __radd__ = __add__
+
+
+def _check_broadcastable(target_shape: tuple[int, ...], value, verb: str) -> None:
+    """Raise (like numpy would) unless ``value`` broadcasts to ``target_shape``."""
+    value_shape = getattr(value, "shape", None)
+    if value_shape is None:  # plain scalar
+        return
+    value_shape = tuple(int(extent) for extent in value_shape)
+    # Numpy broadcasting: align trailing axes; extra leading axes of the value
+    # must have extent 1.
+    if len(value_shape) > len(target_shape):
+        extra, value_shape = (
+            value_shape[: len(value_shape) - len(target_shape)],
+            value_shape[len(value_shape) - len(target_shape) :],
+        )
+        if any(extent != 1 for extent in extra):
+            raise ValueError(
+                f"cannot {verb} payload of shape {extra + value_shape} "
+                f"into a region of shape {target_shape}"
+            )
+    for have, expect in zip(value_shape[::-1], target_shape[::-1]):
+        if have != expect and have != 1:
+            raise ValueError(
+                f"cannot {verb} payload of shape {value_shape} "
+                f"into a region of shape {target_shape}"
+            )
+
+
+def is_token(block) -> bool:
+    """Whether ``block`` is a counters-only payload."""
+    return isinstance(block, ShapeToken)
+
+
+def payload_words(block) -> int:
+    """Number of words a payload occupies (mode-agnostic)."""
+    if isinstance(block, ShapeToken):
+        return block.size
+    return int(np.asarray(block).size)
+
+
+def payload_shape(block) -> tuple[int, ...]:
+    if isinstance(block, ShapeToken):
+        return block.shape
+    return tuple(np.asarray(block).shape)
+
+
+def as_payload(block):
+    """Normalize an algorithm's global operand: float64 array, or a token."""
+    if isinstance(block, ShapeToken):
+        return block
+    return np.asarray(block, dtype=np.float64)
+
+
+def payload_view(block):
+    """A cheap read view of a payload (``np.asarray`` without dtype coercion)."""
+    if isinstance(block, ShapeToken):
+        return block
+    return np.asarray(block)
+
+
+def ascontiguous(block):
+    """``np.ascontiguousarray`` for arrays, identity for tokens."""
+    if isinstance(block, ShapeToken):
+        return block
+    return np.ascontiguousarray(block)
+
+
+def concat_payloads(parts: Sequence, axis: int = 0):
+    """Concatenate payloads along ``axis`` (shape algebra for tokens)."""
+    if not parts:
+        raise ValueError("concat_payloads needs at least one part")
+    if not any(isinstance(part, ShapeToken) for part in parts):
+        return np.concatenate(parts, axis=axis)
+    shapes = [payload_shape(part) for part in parts]
+    base = list(shapes[0])
+    for shape in shapes[1:]:
+        if len(shape) != len(base):
+            raise ValueError(f"cannot concatenate payloads of ranks {shapes}")
+        for dim, (have, expect) in enumerate(zip(shape, base)):
+            if dim != axis % len(base) and have != expect:
+                raise ValueError(f"off-axis shape mismatch concatenating {shapes}")
+    base[axis % len(base)] = sum(shape[axis % len(base)] for shape in shapes)
+    return ShapeToken(base)
+
+
+class Transport:
+    """Delivery policy for payloads moved through the machine.
+
+    Subclasses decide what a receiver physically gets; the *accounting* of a
+    transfer is identical in every mode because it only reads payload shapes.
+    """
+
+    #: Mode name, one of :data:`MODES`.
+    mode = "legacy"
+    #: True when payloads carry no numerics (result verification impossible).
+    counters_only = False
+
+    def deliver(self, block):
+        """The buffer the receiver of a counted transfer obtains."""
+        raise NotImplementedError
+
+    def self_copy(self, block):
+        """A rank's local handle on its own payload (uncounted self-send)."""
+        raise NotImplementedError
+
+    def clone(self, block):
+        """A private buffer safe to accumulate into (reduction partials)."""
+        if isinstance(block, ShapeToken):
+            return block.copy()
+        return np.array(block, copy=True)
+
+    def zeros(self, shape: Sequence[int]):
+        """A zero-initialized local payload of the given shape."""
+        raise NotImplementedError
+
+
+class LegacyTransport(Transport):
+    """Reference semantics: every delivery is a private writable copy."""
+
+    mode = "legacy"
+
+    def deliver(self, block):
+        if isinstance(block, ShapeToken):
+            return block.copy()
+        return np.asarray(block).copy()
+
+    self_copy = deliver
+
+    def zeros(self, shape):
+        return np.zeros(tuple(shape))
+
+
+class ZeroCopyTransport(Transport):
+    """Deliveries are shared read-only views; writers still get copies."""
+
+    mode = "zerocopy"
+
+    def deliver(self, block):
+        if isinstance(block, ShapeToken):
+            return block.copy()
+        view = np.asarray(block).view()
+        view.flags.writeable = False
+        return view
+
+    self_copy = deliver
+
+    def zeros(self, shape):
+        return np.zeros(tuple(shape))
+
+
+class VolumeTransport(Transport):
+    """Counters-only payloads: deliveries are shape tokens, never arrays."""
+
+    mode = "volume"
+    counters_only = True
+
+    def deliver(self, block):
+        return ShapeToken(payload_shape(block))
+
+    self_copy = deliver
+
+    def clone(self, block):
+        return ShapeToken(payload_shape(block))
+
+    def zeros(self, shape):
+        return ShapeToken(shape)
+
+
+_TRANSPORTS = {
+    "legacy": LegacyTransport,
+    "zerocopy": ZeroCopyTransport,
+    "volume": VolumeTransport,
+}
+
+
+def make_transport(mode: str) -> Transport:
+    """Build the transport for ``mode`` (one of :data:`MODES`)."""
+    try:
+        return _TRANSPORTS[mode]()
+    except KeyError:
+        raise ValueError(f"unknown transport mode {mode!r}; known: {MODES}") from None

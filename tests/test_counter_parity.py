@@ -1,0 +1,111 @@
+"""Counter-parity regression tests for the execution modes.
+
+The whole point of the fast-path transports is that the *numbers the paper
+reports* -- words, messages, rounds, the input/output split -- are a function
+of payload shapes only.  Every algorithm must therefore produce byte-identical
+per-rank :class:`~repro.machine.counters.RankCounters` under legacy, zerocopy
+and volume transports on every scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import ALGORITHMS, run_algorithm
+from repro.machine.counters import ConservationError
+from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import MODES, ShapeToken
+from repro.workloads.scaling import (
+    Scenario,
+    extra_memory_sweep,
+    limited_memory_sweep,
+    strong_scaling_sweep,
+)
+from repro.workloads.shapes import square_shape
+
+
+def _per_rank_counters(name: str, scenario: Scenario, mode: str):
+    machine = DistributedMachine(scenario.p, memory_words=scenario.memory_words, mode=mode)
+    if mode == "volume":
+        a, b = ShapeToken((scenario.shape.m, scenario.shape.k)), ShapeToken(
+            (scenario.shape.k, scenario.shape.n)
+        )
+    else:
+        a, b = scenario.shape.random_matrices(seed=0)
+    ALGORITHMS[name](a, b, scenario, machine)
+    return [rank.counters.copy() for rank in machine.ranks]
+
+
+SCENARIO_GRID = (
+    limited_memory_sweep("square", [4, 9], 2048)
+    + limited_memory_sweep("largeK", [4], 2048)
+    + extra_memory_sweep("square", [16], 2048)
+    + strong_scaling_sweep(square_shape(48), [8])
+)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("scenario", SCENARIO_GRID, ids=lambda s: s.name)
+def test_counters_identical_across_modes(name, scenario):
+    reference = _per_rank_counters(name, scenario, "legacy")
+    assert any(c.total_words > 0 for c in reference), "scenario moved no data at all"
+    for mode in MODES[1:]:
+        counters = _per_rank_counters(name, scenario, mode)
+        assert counters == reference, f"{name} counters diverge in {mode} mode"
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_harness_runs_and_conserves_in_every_mode(mode):
+    scenario = limited_memory_sweep("square", [4], 2048)[0]
+    run = run_algorithm("COSMA", scenario, mode=mode)
+    assert run.mode == mode
+    assert run.correct
+    assert run.verified == (mode != "volume")
+    assert run.mean_words_per_rank > 0
+
+
+def test_volume_mode_flops_match_legacy():
+    scenario = limited_memory_sweep("square", [9], 2048)[0]
+    legacy = run_algorithm("COSMA", scenario, mode="legacy")
+    volume = run_algorithm("COSMA", scenario, mode="volume")
+    assert volume.total_flops == legacy.total_flops
+    assert volume.max_flops_per_rank == legacy.max_flops_per_rank
+
+
+class TestConservationAssertion:
+    """The harness must refuse runs whose sent/received totals disagree."""
+
+    def test_harness_raises_on_unbalanced_counters(self):
+        def leaky(a, b, scenario, machine):
+            machine.rank(0).counters.words_sent += 5  # sent but never received
+            return a @ b if not isinstance(a, ShapeToken) else a
+
+        ALGORITHMS["_leaky"] = leaky
+        try:
+            scenario = limited_memory_sweep("square", [4], 2048)[0]
+            with pytest.raises(ConservationError):
+                run_algorithm("_leaky", scenario, verify=False)
+        finally:
+            del ALGORITHMS["_leaky"]
+
+    def test_harness_passes_balanced_runs(self):
+        scenario = limited_memory_sweep("square", [4], 2048)[0]
+        run = run_algorithm("COSMA", scenario)
+        assert run.correct
+
+
+def test_volume_mode_reaches_scales_legacy_cannot():
+    """A quick paper-direction scale check kept small enough for CI: p = 256.
+
+    (The full p = 1024, 4096^3 demonstration lives in
+    ``benchmarks/bench_simulator_fastpath.py``.)
+    """
+    scenario = Scenario(
+        name="square-volume-p256",
+        shape=square_shape(512),
+        p=256,
+        memory_words=8192,
+        regime="limited",
+    )
+    run = run_algorithm("COSMA", scenario, mode="volume")
+    assert run.total_flops >= 2 * 512**3
+    assert run.mean_words_per_rank > 0
