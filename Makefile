@@ -1,0 +1,24 @@
+# Developer entry points (the tier-1 command from ROADMAP.md lives here too).
+#
+#   make verify       - tier-1 test suite
+#   make sweep-smoke  - tiny 4-point sweep campaign through the engine (--jobs 2)
+#   make bench        - full paper figure/table benchmark suite
+#   make bench-sweep  - sweep-engine timing benchmark (writes BENCH_sweep.json)
+
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify sweep-smoke bench bench-sweep
+
+verify:
+	$(PY) -m pytest -x -q
+
+sweep-smoke:
+	$(PY) -m repro sweep --families square --regimes limited --processors 4 9 \
+		--algorithms COSMA CARMA --mode volume --jobs 2 --out .sweep-cache/smoke
+
+bench:
+	$(PY) -m pytest benchmarks/bench_*.py -s
+
+bench-sweep:
+	$(PY) -m pytest benchmarks/bench_sweep_engine.py -s

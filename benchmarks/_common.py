@@ -19,10 +19,12 @@ counters without any numerics and unlocks paper-scale sweeps -- see
 
 from __future__ import annotations
 
+import tempfile
 from typing import Iterable, Sequence
 
-from repro.experiments.harness import DEFAULT_ALGORITHMS, sweep
+from repro.experiments.harness import DEFAULT_ALGORITHMS
 from repro.experiments.report import format_table
+from repro.sweeps import ResultStore, run_campaign, spec_from_scenarios
 from repro.workloads.scaling import (
     Scenario,
     extra_memory_sweep,
@@ -57,7 +59,21 @@ def scenarios_for(family: str, regime: str, p_values: Sequence[int] = CORE_COUNT
     raise ValueError(f"unknown regime {regime!r}")
 
 
-_SWEEP_CACHE: dict = {}
+#: Per-session sweep-engine store: several figures (e.g. Figure 6 and
+#: Figures 8/9) are different views of the same measurement campaign, exactly
+#: as in the paper, so the second figure resolves from the campaign cache.
+#: A fresh temp directory per session keeps the timing benchmarks honest; the
+#: TemporaryDirectory finalizer removes it at interpreter exit.
+_SESSION_STORE_DIR: tempfile.TemporaryDirectory | None = None
+_SESSION_STORE: ResultStore | None = None
+
+
+def _session_store() -> ResultStore:
+    global _SESSION_STORE, _SESSION_STORE_DIR
+    if _SESSION_STORE is None:
+        _SESSION_STORE_DIR = tempfile.TemporaryDirectory(prefix="repro-bench-sweeps-")
+        _SESSION_STORE = ResultStore(_SESSION_STORE_DIR.name)
+    return _SESSION_STORE
 
 
 def run_benchmark_sweep(
@@ -70,16 +86,22 @@ def run_benchmark_sweep(
     """Run a full (family, regime) sweep across algorithms; results are verified
     (except in ``volume`` mode, which simulates counters only).
 
-    Results are cached per session: several figures (e.g. Figure 6 and
-    Figures 8/9) are different views of the same measurement campaign, exactly
-    as in the paper.
+    Runs go through the sweep campaign engine (:mod:`repro.sweeps`) against a
+    per-session result store, so overlapping figure sweeps are answered from
+    cache after their first execution.
     """
-    key = (family, regime, tuple(algorithms), tuple(p_values), mode)
-    if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = sweep(
-            scenarios_for(family, regime, p_values), algorithms=tuple(algorithms), seed=0, mode=mode
-        )
-    return _SWEEP_CACHE[key]
+    spec = spec_from_scenarios(
+        scenarios_for(family, regime, p_values),
+        algorithms=tuple(algorithms),
+        mode=mode,
+        seed=0,
+        name=f"{family}-{regime}",
+    )
+    result = run_campaign(spec, store=_session_store(), jobs=1, resume=True)
+    if result.failed:
+        failures = [(r["algorithm"], r["scenario"]["name"], r["error"]) for r in result.failed_records]
+        raise RuntimeError(f"benchmark sweep {family}-{regime} had failures: {failures}")
+    return result.runs()
 
 
 def print_series(title: str, series: dict[str, list[tuple[int, float]]], unit: str) -> None:

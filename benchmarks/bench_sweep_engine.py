@@ -1,0 +1,120 @@
+"""Sweep campaign engine benchmark: serial vs parallel vs warm-cache.
+
+Times the same 80-run campaign (2 shape families x 2 weak-scaling regimes x
+4 core counts x all 5 algorithms, volume mode) three ways:
+
+* **serial** -- fresh store, ``jobs=1``;
+* **parallel** -- fresh store, ``jobs=4`` worker processes;
+* **warm cache** -- rerun of the serial campaign against its populated store
+  (every key resolves without executing).
+
+and asserts the engine's contract: serial and parallel campaigns aggregate to
+byte-identical tidy rows, the warm rerun costs < 10% of the cold serial time,
+and (on machines with >= 2 cores) the parallel campaign is >= 1.5x faster
+than the serial one.  Results are written to ``BENCH_sweep.json`` in the
+repository root::
+
+    pytest benchmarks/bench_sweep_engine.py -s
+    # or, without pytest:
+    python benchmarks/bench_sweep_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sweeps import ResultStore, SweepSpec, rows_to_json, run_campaign, tidy_rows
+
+#: The shared campaign grid: 16 scenarios x 5 algorithms = 80 volume-mode runs.
+GRID = SweepSpec(
+    name="bench-sweep-engine",
+    algorithms=("COSMA", "ScaLAPACK", "CTF", "CARMA", "Cannon"),
+    families=("square", "largeK"),
+    regimes=("limited", "extra"),
+    p_values=(16, 64, 144, 256),
+    memory_words=2048,
+    mode="volume",
+)
+
+PARALLEL_JOBS = 4
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_campaign(jobs: int, store: ResultStore) -> tuple[float, list[dict]]:
+    start = time.perf_counter()
+    result = run_campaign(GRID, store=store, jobs=jobs, resume=True)
+    elapsed = time.perf_counter() - start
+    assert result.failed == 0, result.failed_records
+    return elapsed, result.records
+
+
+def run_sweep_engine_benchmark() -> dict:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-sweep-engine-"))
+    cores = _available_cores()
+
+    serial_store = ResultStore(tmp / "serial")
+    serial_s, serial_records = _timed_campaign(1, serial_store)
+
+    parallel_store = ResultStore(tmp / "parallel")
+    parallel_s, parallel_records = _timed_campaign(PARALLEL_JOBS, parallel_store)
+
+    warm_s, warm_records = _timed_campaign(1, serial_store)
+
+    serial_rows = rows_to_json(tidy_rows(serial_records))
+    total_runs = len(serial_records)
+    report = {
+        "grid": {
+            "families": list(GRID.families),
+            "regimes": list(GRID.regimes),
+            "p_values": list(GRID.p_values),
+            "algorithms": list(GRID.algorithms),
+            "memory_words": GRID.memory_words,
+            "mode": GRID.mode,
+            "runs": total_runs,
+        },
+        "cores_available": cores,
+        "parallel_jobs": PARALLEL_JOBS,
+        "seconds": {
+            "serial": round(serial_s, 4),
+            "parallel": round(parallel_s, 4),
+            "warm_cache": round(warm_s, 4),
+        },
+        "parallel_speedup_vs_serial": round(serial_s / parallel_s, 2) if parallel_s > 0 else None,
+        "warm_cache_fraction_of_serial": round(warm_s / serial_s, 4) if serial_s > 0 else None,
+        "rows_identical_serial_vs_parallel": rows_to_json(tidy_rows(parallel_records)) == serial_rows,
+        "rows_identical_serial_vs_warm": rows_to_json(tidy_rows(warm_records)) == serial_rows,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_sweep_engine():
+    report = run_sweep_engine_benchmark()
+    print("\n== Sweep campaign engine: serial vs parallel vs warm cache ==")
+    print(json.dumps(report, indent=2))
+
+    assert report["grid"]["runs"] == 80
+    assert report["rows_identical_serial_vs_parallel"], "parallel campaign changed the aggregated rows"
+    assert report["rows_identical_serial_vs_warm"], "cached rerun changed the aggregated rows"
+    seconds = report["seconds"]
+    # Warm reruns answer everything from the store: < 10% of the cold serial
+    # time (with a small floor so a pathologically fast cold run can't flake).
+    assert seconds["warm_cache"] < max(0.1 * seconds["serial"], 0.05)
+    if report["cores_available"] >= 2:
+        assert report["parallel_speedup_vs_serial"] > 1.5
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_sweep_engine_benchmark(), indent=2))

@@ -10,9 +10,15 @@ paper's simplified expressions in the tests and in
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.cost_model import cosma_io_cost, cosma_latency_cost
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workloads is light,
+    # but costs should stay importable without the workloads package)
+    from repro.workloads.scaling import Scenario
 
 
 # ---------------------------------------------------------------------------
@@ -110,6 +116,60 @@ def io_cost_cosma(m: int, n: int, k: int, p: int, s: int) -> float:
 def latency_cost_cosma(m: int, n: int, k: int, p: int, s: int) -> float:
     """Latency of COSMA (Table 3)."""
     return cosma_latency_cost(m, n, k, p, s)
+
+
+# ---------------------------------------------------------------------------
+# Shared prediction entry point (used by the sweep aggregator, the CLI and the
+# performance model -- the one place that maps an algorithm name onto its
+# Table 3 formulas, instead of per-call-site math).
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CostPrediction:
+    """Analytic per-processor cost of one algorithm on one scenario."""
+
+    algorithm: str
+    #: Table 3 per-processor I/O (words moved through the slowest processor).
+    io_words_per_rank: float
+    #: Table 3 latency cost (communication rounds on the critical path).
+    latency_rounds: float
+    #: Useful flops per processor under perfect load balance: ``2mnk / p``.
+    flops_per_rank: float
+
+
+#: Algorithm name -> (io, latency) formula pair, all with the uniform
+#: signature ``(m, n, k, p, s)``.  The harness names map onto the paper's
+#: comparison targets (ScaLAPACK ~ 2D SUMMA, CTF ~ 2.5D); the decomposition
+#: aliases are accepted too.
+_COST_MODELS: dict[str, tuple] = {
+    "COSMA": (io_cost_cosma, latency_cost_cosma),
+    "ScaLAPACK": (lambda m, n, k, p, s: io_cost_2d(m, n, k, p),
+                  lambda m, n, k, p, s: latency_cost_2d(m, n, k, p)),
+    "CTF": (io_cost_25d, latency_cost_25d),
+    "CARMA": (io_cost_carma, latency_cost_carma),
+    "Cannon": (lambda m, n, k, p, s: io_cost_2d(m, n, k, p),
+               lambda m, n, k, p, s: latency_cost_2d(m, n, k, p)),
+}
+_COST_MODELS["SUMMA"] = _COST_MODELS["2D"] = _COST_MODELS["ScaLAPACK"]
+_COST_MODELS["2.5D"] = _COST_MODELS["CTF"]
+
+
+def predict_mnk(algorithm: str, m: int, n: int, k: int, p: int, s: int) -> CostPrediction:
+    """Predict the Table 3 costs of ``algorithm`` on an explicit problem."""
+    if algorithm not in _COST_MODELS:
+        raise KeyError(f"no cost model for {algorithm!r}; known: {sorted(_COST_MODELS)}")
+    io_fn, latency_fn = _COST_MODELS[algorithm]
+    return CostPrediction(
+        algorithm=algorithm,
+        io_words_per_rank=float(io_fn(m, n, k, p, s)),
+        latency_rounds=float(latency_fn(m, n, k, p, s)),
+        flops_per_rank=2.0 * m * n * k / p,
+    )
+
+
+def predict(algorithm: str, scenario: "Scenario") -> CostPrediction:
+    """Predict the Table 3 costs of ``algorithm`` on a benchmark scenario."""
+    shape = scenario.shape
+    return predict_mnk(algorithm, shape.m, shape.n, shape.k, scenario.p, scenario.memory_words)
 
 
 # ---------------------------------------------------------------------------

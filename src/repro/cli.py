@@ -5,6 +5,7 @@ Exposes the library's main entry points without writing any Python::
     python -m repro multiply --m 256 --n 320 --k 192 --processors 16 --memory 16384
     python -m repro compare  --family square --regime limited --processors 4 16 36
     python -m repro compare  --family square --regime limited --processors 256 1024 --mode volume
+    python -m repro sweep    --families square largeK --regimes limited extra --processors 4 16 36 64 --jobs 4
     python -m repro bounds   --m 4096 --n 4096 --k 4096 --processors 512 --memory 65536
     python -m repro grid     --m 4096 --n 4096 --k 4096 --processors 65
     python -m repro sequential --size 32 --memory 64 128 256
@@ -16,21 +17,26 @@ multiplication verified against numpy.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.api import lower_bound_parallel, lower_bound_sequential, multiply
-from repro.baselines.costs import io_cost_25d, io_cost_2d, io_cost_carma, io_cost_cosma
+from repro.baselines.costs import predict_mnk
 from repro.core.grid import fit_ranks
-from repro.experiments.harness import DEFAULT_ALGORITHMS, sweep
+from repro.experiments.harness import ALGORITHMS, DEFAULT_ALGORITHMS, sweep
 from repro.experiments.perf_model import simulated_time
 from repro.experiments.report import format_table, group_by_scenario
 from repro.machine.topology import MachineSpec
 from repro.machine.transport import MODES
 from repro.pebbling.mmm_bounds import near_optimal_sequential_io
 from repro.sequential import tiled_multiply
+from repro.sweeps import SweepSpec, run_campaign, scenario_summary_table, tidy_rows
+from repro.sweeps.runner import DEFAULT_STORE_PATH
+from repro.sweeps.spec import FAMILIES, REGIMES
 from repro.workloads.scaling import extra_memory_sweep, limited_memory_sweep, strong_scaling_sweep
 from repro.workloads.shapes import square_shape
 
@@ -66,6 +72,45 @@ def _build_parser() -> argparse.ArgumentParser:
             "only (no numerics; enables paper-scale processor counts)"
         ),
     )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a cached, parallel scenario campaign (the sweep engine)",
+    )
+    # Campaign flags default to None so _cmd_sweep can tell "explicitly
+    # passed" from "defaulted" (a --spec file replaces all of them); the real
+    # defaults live in _SWEEP_FLAG_DEFAULTS.
+    p_sweep.add_argument("--families", nargs="+", choices=list(FAMILIES), default=None)
+    p_sweep.add_argument("--regimes", nargs="+", choices=list(REGIMES), default=None)
+    p_sweep.add_argument("--processors", type=int, nargs="+", default=None)
+    p_sweep.add_argument("--memory", type=int, default=None, help="words of local memory per processor (default: 2048)")
+    p_sweep.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHMS), default=None)
+    p_sweep.add_argument(
+        "--mode", choices=list(MODES), default=None,
+        help="payload transport; 'volume' (default) simulates counters only and scales to paper-size grids",
+    )
+    p_sweep.add_argument("--seed", type=int, default=None)
+    p_sweep.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
+    p_sweep.add_argument(
+        "--out", default=DEFAULT_STORE_PATH,
+        help=f"result-store directory (default: {DEFAULT_STORE_PATH}); delete it to invalidate the cache",
+    )
+    p_sweep.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="re-execute every point even if its key is already stored",
+    )
+    p_sweep.add_argument(
+        "--retry-failures", action="store_true",
+        help="re-execute cached 'failed' records (successes still come from cache)",
+    )
+    p_sweep.add_argument(
+        "--spec", default=None, metavar="SPEC.json",
+        help=(
+            "load the whole campaign (grid, algorithms, mode, seed) from a "
+            "SweepSpec JSON file; combining it with campaign flags is an error"
+        ),
+    )
+    p_sweep.add_argument("--full-table", action="store_true", help="print the full tidy table, not the per-scenario summary")
 
     p_bounds = sub.add_parser("bounds", help="print the analytic lower bounds and per-algorithm costs")
     p_bounds.add_argument("--m", type=int, required=True)
@@ -140,13 +185,81 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
         ["sequential lower bound (Theorem 1)", lower_bound_sequential(m, n, k, s)],
         ["sequential feasible schedule", near_optimal_sequential_io(m, n, k, s)],
         ["parallel lower bound / COSMA (Theorem 2)", lower_bound_parallel(m, n, k, p, s)],
-        ["2D (ScaLAPACK) cost", io_cost_2d(m, n, k, p)],
-        ["2.5D (CTF) cost", io_cost_25d(m, n, k, p, s)],
-        ["recursive (CARMA) cost", io_cost_carma(m, n, k, p, s)],
-        ["COSMA cost", io_cost_cosma(m, n, k, p, s)],
     ]
+    for label, algorithm in (
+        ("2D (ScaLAPACK) cost", "ScaLAPACK"),
+        ("2.5D (CTF) cost", "CTF"),
+        ("recursive (CARMA) cost", "CARMA"),
+        ("COSMA cost", "COSMA"),
+    ):
+        rows.append([label, predict_mnk(algorithm, m, n, k, p, s).io_words_per_rank])
     print(format_table(["quantity", "words per processor"], rows))
     return 0
+
+
+#: Campaign flags a --spec file fully replaces, with their effective defaults
+#: (the parser deliberately defaults them all to None, see _build_parser).
+_SWEEP_FLAG_DEFAULTS = {
+    "families": ("square",),
+    "regimes": ("limited",),
+    "processors": (4, 16, 36, 64),
+    "memory": 2048,
+    "algorithms": tuple(ALGORITHMS),
+    "mode": "volume",
+    "seed": 0,
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    passed = {name: getattr(args, name) for name in _SWEEP_FLAG_DEFAULTS
+              if getattr(args, name) is not None}
+    if args.spec is not None:
+        if passed:
+            # A spec file defines the whole campaign; silently ignoring
+            # explicit flags (e.g. --mode legacy) would mislead the user.
+            flags = " ".join(f"--{name}" for name in passed)
+            print(f"error: --spec replaces the campaign flags; drop {flags}", file=sys.stderr)
+            return 2
+        spec = SweepSpec.from_dict(json.loads(Path(args.spec).read_text()))
+    else:
+        values = dict(_SWEEP_FLAG_DEFAULTS, **passed)
+        spec = SweepSpec(
+            name="cli-sweep",
+            algorithms=tuple(values["algorithms"]),
+            families=tuple(values["families"]),
+            regimes=tuple(values["regimes"]),
+            p_values=tuple(values["processors"]),
+            memory_words=values["memory"],
+            mode=values["mode"],
+            seed=values["seed"],
+        )
+    total = len(spec.expand())
+    print(
+        f"campaign '{spec.name}': {total} runs "
+        f"({len(spec.scenarios())} scenarios x {len(spec.algorithms)} algorithms, "
+        f"mode={spec.mode}, jobs={args.jobs}, store={args.out})"
+    )
+    result = run_campaign(
+        spec, store=args.out, jobs=args.jobs, resume=args.resume,
+        retry_failures=args.retry_failures,
+    )
+    rows = tidy_rows(result.records)
+    print(
+        f"executed {result.executed}, cached {result.cached}, failed {result.failed} "
+        f"in {result.elapsed_s:.2f}s"
+    )
+    if args.full_table:
+        from repro.sweeps import campaign_table
+
+        print(campaign_table(rows))
+    else:
+        print(scenario_summary_table(rows))
+    for row in rows:
+        if row["status"] == "failed":
+            print(f"FAILED {row['scenario']} {row['algorithm']}: {row['error_type']}: {row['error_message']}")
+    if spec.mode == "volume":
+        print("\nnumerical verification skipped (volume mode: counters-only payloads)")
+    return 0 if result.failed == 0 and all(row.get("correct", True) for row in rows) else 1
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
@@ -181,6 +294,7 @@ def _cmd_sequential(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "multiply": _cmd_multiply,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "bounds": _cmd_bounds,
     "grid": _cmd_grid,
     "sequential": _cmd_sequential,

@@ -72,6 +72,28 @@ class AlgorithmRun:
         return self.scenario.p
 
 
+@dataclass
+class RunFailure:
+    """Structured record of one run that raised instead of completing.
+
+    Sweep campaigns must not abort wholesale because one (algorithm,
+    scenario) point is infeasible -- e.g. a memory size too small for any
+    schedule.  :func:`run_algorithm_safe` converts the exception into this
+    record so the campaign runner (and the result store) can persist it and
+    keep going.
+    """
+
+    algorithm: str
+    scenario: Scenario
+    mode: str
+    error_type: str
+    error_message: str
+
+    @property
+    def correct(self) -> bool:
+        return False
+
+
 AlgorithmFn = Callable[[np.ndarray, np.ndarray, Scenario, DistributedMachine], np.ndarray]
 
 
@@ -168,6 +190,36 @@ def run_algorithm(
     )
 
 
+def run_algorithm_safe(
+    name: str,
+    scenario: Scenario,
+    seed: int = 0,
+    verify: bool = True,
+    mode: str = "legacy",
+) -> AlgorithmRun | RunFailure:
+    """Like :func:`run_algorithm` but captures failures as :class:`RunFailure`.
+
+    Unknown algorithm names and unknown modes still raise (those are caller
+    bugs, not scenario properties); everything raised while executing the
+    scenario -- infeasible memory, schedule errors, conservation violations --
+    comes back as a structured record.
+    """
+    if name not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    try:
+        return run_algorithm(name, scenario, seed=seed, verify=verify, mode=mode)
+    except Exception as exc:  # noqa: BLE001 - the point is to capture anything
+        return RunFailure(
+            algorithm=name,
+            scenario=scenario,
+            mode=mode,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+        )
+
+
 def run_scenario(
     scenario: Scenario,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
@@ -188,13 +240,22 @@ def sweep(
     seed: int = 0,
     verify: bool = True,
     mode: str = "legacy",
-) -> list[AlgorithmRun]:
-    """Run the full cross product of scenarios and algorithms."""
+    on_error: str = "raise",
+) -> list[AlgorithmRun | RunFailure]:
+    """Run the full cross product of scenarios and algorithms.
+
+    ``on_error="capture"`` records a :class:`RunFailure` for any point that
+    raises and keeps sweeping; the default ``"raise"`` preserves the historic
+    fail-fast behaviour.
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
     algorithms = tuple(algorithms)
-    runs: list[AlgorithmRun] = []
+    runner = run_algorithm if on_error == "raise" else run_algorithm_safe
+    runs: list[AlgorithmRun | RunFailure] = []
     for scenario in scenarios:
         for name in algorithms:
-            runs.append(run_algorithm(name, scenario, seed=seed, verify=verify, mode=mode))
+            runs.append(runner(name, scenario, seed=seed, verify=verify, mode=mode))
     return runs
 
 

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.baselines.costs import CostPrediction, predict
 from repro.core.overlap import even_rounds
 from repro.experiments.harness import AlgorithmRun
 from repro.machine.topology import PIZ_DAINT_LIKE, MachineSpec
+from repro.workloads.scaling import Scenario
 
 
 @dataclass(frozen=True)
@@ -101,3 +103,28 @@ def percent_of_peak(
 def speedup(run: AlgorithmRun, baseline: AlgorithmRun, spec: MachineSpec = PIZ_DAINT_LIKE) -> float:
     """Runtime ratio baseline / run (values > 1 mean ``run`` is faster)."""
     return simulated_time(baseline, spec, overlap=True) / simulated_time(run, spec, overlap=True)
+
+
+def analytic_time(
+    algorithm_or_prediction: str | CostPrediction,
+    scenario: Scenario | None = None,
+    spec: MachineSpec = PIZ_DAINT_LIKE,
+) -> float:
+    """Alpha-beta-gamma runtime from the *analytic* Table 3 costs.
+
+    Where :func:`simulated_time` prices the counters the simulator measured,
+    this prices the closed-form prediction from
+    :func:`repro.baselines.costs.predict` -- the sweep aggregator joins the
+    two so every stored run carries its model error.  Accepts either an
+    algorithm name plus a scenario, or a ready-made
+    :class:`~repro.baselines.costs.CostPrediction`.
+    """
+    if isinstance(algorithm_or_prediction, CostPrediction):
+        prediction = algorithm_or_prediction
+    else:
+        if scenario is None:
+            raise ValueError("a scenario is required when passing an algorithm name")
+        prediction = predict(algorithm_or_prediction, scenario)
+    compute = spec.compute_time(prediction.flops_per_rank)
+    comm = spec.communication_time(prediction.io_words_per_rank, prediction.latency_rounds)
+    return compute + comm

@@ -1,0 +1,70 @@
+"""Sweep campaign engine: parallel scenario sweeps with a resumable store.
+
+This package is the layer between "one harness run" and "a paper figure".
+The paper's headline evidence (Table 4, Figures 8-11) comes from campaigns of
+hundreds of (m, n, k, p, S) points across five algorithms; here such a
+campaign is
+
+1. declared as a :class:`~repro.sweeps.spec.SweepSpec` (shape families x
+   scaling regimes x core counts, plus explicit scenario points),
+2. expanded into deterministic :class:`~repro.sweeps.spec.RunRequest` lists,
+3. executed by :func:`~repro.sweeps.runner.run_campaign` -- serially or over
+   a ``multiprocessing`` pool -- with per-run failure capture, and
+4. persisted in a content-addressed
+   :class:`~repro.sweeps.store.ResultStore`, then joined with the analytic
+   cost models by :func:`~repro.sweeps.aggregate.tidy_rows`.
+
+The RunKey hashing contract
+---------------------------
+Every run is addressed by :func:`~repro.sweeps.store.run_key`: the SHA-256
+hex digest of the canonical JSON encoding (sorted keys, no whitespace) of
+exactly these code-relevant parameters::
+
+    {"key_version": KEY_VERSION,
+     "algorithm":  <harness registry name>,
+     "scenario":   {"name", "shape": {"m", "n", "k", "family"},
+                    "p", "memory_words", "regime"},
+     "mode":       <legacy | zerocopy | volume>,
+     "seed":       <input-matrix seed>,
+     "verify":     <bool>}
+
+Consequences:
+
+* Keys are **stable across processes and machines** -- no use of Python's
+  randomized ``hash()`` -- so a store written by one campaign resumes in any
+  later one (interrupted campaigns skip every cached key on rerun).
+* Keys are **content addresses**: two requests agreeing on every field above
+  share one execution, while changing any field (including the seed or the
+  transport mode) yields a distinct key.
+* Measured values are deliberately *not* part of the key; when a code change
+  alters what the simulator would measure for the same parameters, bump
+  :data:`~repro.sweeps.store.KEY_VERSION` (or delete the store directory) to
+  invalidate every cached record at once.
+"""
+
+from repro.sweeps.aggregate import (
+    campaign_table,
+    rows_to_json,
+    runs_from_records,
+    scenario_summary_table,
+    tidy_rows,
+)
+from repro.sweeps.runner import CampaignResult, run_campaign
+from repro.sweeps.spec import RunRequest, SweepSpec, spec_from_scenarios
+from repro.sweeps.store import KEY_VERSION, ResultStore, run_key
+
+__all__ = [
+    "CampaignResult",
+    "KEY_VERSION",
+    "ResultStore",
+    "RunRequest",
+    "SweepSpec",
+    "campaign_table",
+    "rows_to_json",
+    "run_campaign",
+    "run_key",
+    "runs_from_records",
+    "scenario_summary_table",
+    "spec_from_scenarios",
+    "tidy_rows",
+]

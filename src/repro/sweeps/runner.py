@@ -1,0 +1,187 @@
+"""Campaign runner: fan a sweep out over a worker pool, persist every result.
+
+The runner is the layer between "one harness run" and "a paper figure": it
+expands a :class:`~repro.sweeps.spec.SweepSpec` (or takes explicit
+:class:`~repro.sweeps.spec.RunRequest` lists), skips every run whose key the
+:class:`~repro.sweeps.store.ResultStore` already holds (``resume``), executes
+the rest serially or across a ``multiprocessing`` pool, and appends each
+record to the store as soon as it lands.  Workers execute via
+:func:`repro.experiments.harness.run_algorithm_safe`, so an infeasible point
+becomes a ``"failed"`` record instead of aborting the campaign.
+
+Determinism: records are reported in expansion order regardless of worker
+completion order, and every stored value is a pure function of the run's
+parameters -- a 2-job campaign aggregates byte-identically to a serial one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.experiments.harness import AlgorithmRun, run_algorithm_safe
+from repro.sweeps.spec import RunRequest, SweepSpec, request_from_dict
+from repro.sweeps.store import (
+    ResultStore,
+    failure_to_record,
+    record_to_run,
+    run_to_record,
+)
+
+#: Default store directory, relative to the current working directory.
+DEFAULT_STORE_PATH = ".sweep-cache"
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    #: Records in expansion order (cached and fresh alike).
+    records: list[dict]
+    #: Number of runs actually executed by this invocation.
+    executed: int
+    #: Number of runs answered from the store without executing.
+    cached: int
+    #: Number of records (cached or fresh) whose status is ``"failed"``.
+    failed: int
+    elapsed_s: float
+    store_path: str = ""
+    _runs: list[AlgorithmRun] | None = field(default=None, repr=False)
+
+    @property
+    def ok_records(self) -> list[dict]:
+        return [r for r in self.records if r.get("status") == "ok"]
+
+    @property
+    def failed_records(self) -> list[dict]:
+        return [r for r in self.records if r.get("status") == "failed"]
+
+    def runs(self) -> list[AlgorithmRun]:
+        """The successful runs as :class:`AlgorithmRun` objects (cached)."""
+        if self._runs is None:
+            self._runs = [record_to_run(r) for r in self.ok_records]
+        return self._runs
+
+
+def execute_request(request: RunRequest) -> dict:
+    """Execute one request and return its store record (never raises)."""
+    outcome = run_algorithm_safe(
+        request.algorithm,
+        request.scenario,
+        seed=request.seed,
+        verify=request.verify,
+        mode=request.mode,
+    )
+    if isinstance(outcome, AlgorithmRun):
+        return run_to_record(outcome, request.key, seed=request.seed)
+    return failure_to_record(outcome, request.key, seed=request.seed)
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Pool-friendly wrapper: dict in, dict out (both picklable everywhere)."""
+    return execute_request(request_from_dict(payload))
+
+
+def run_campaign(
+    spec: SweepSpec | Sequence[RunRequest],
+    store: ResultStore | str | None = None,
+    jobs: int = 1,
+    resume: bool = True,
+    retry_failures: bool = False,
+    progress: Callable[[dict, bool], None] | None = None,
+) -> CampaignResult:
+    """Run every request of ``spec`` that the store cannot already answer.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SweepSpec` (expanded here) or an explicit request list.
+    store:
+        A :class:`ResultStore`, a directory path for one, or ``None`` for the
+        persistent default store at :data:`DEFAULT_STORE_PATH` under the
+        current working directory (shared -- and resumed -- across
+        invocations run from the same directory).
+    jobs:
+        Worker-process count; ``1`` runs in-process (no pool).
+    resume:
+        When true (default), requests whose key is already stored are served
+        from the store.  When false, every request re-executes and
+        overwrites its record.
+    retry_failures:
+        The simulator is deterministic, so ``"failed"`` records are cached
+        like successes by default.  Set true to re-execute stored failures
+        (e.g. after an environment-induced crash such as ``MemoryError``)
+        while still serving successful records from cache.
+    progress:
+        Optional callback invoked as ``progress(record, from_cache)`` after
+        every request resolves, in expansion order for cached entries and in
+        completion order for executed ones.
+    """
+    if isinstance(spec, SweepSpec):
+        requests = spec.expand()
+    else:
+        requests = list(spec)
+    if store is None or isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = ResultStore(store if store is not None else DEFAULT_STORE_PATH)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    start = time.perf_counter()
+    # Deduplicate by key (identical requests collapse onto one execution and
+    # onto one cached/executed count).
+    pending: dict[str, RunRequest] = {}
+    cached = 0
+    considered: set[str] = set()
+    for request in requests:
+        key = request.key
+        if key in considered:
+            continue
+        considered.add(key)
+        if resume and key in store:
+            record = store.get(key)
+            if retry_failures and record.get("status") == "failed":
+                pending[key] = request
+                continue
+            cached += 1
+            if progress is not None:
+                progress(record, True)
+            continue
+        pending[key] = request
+
+    if pending:
+        if jobs == 1:
+            for request in pending.values():
+                record = execute_request(request)
+                store.put(record)
+                if progress is not None:
+                    progress(record, False)
+        else:
+            payloads = [request.to_dict() for request in pending.values()]
+            with multiprocessing.Pool(processes=jobs) as pool:
+                for record in pool.imap(_execute_payload, payloads, chunksize=1):
+                    store.put(record)
+                    if progress is not None:
+                        progress(record, False)
+
+    records = []
+    seen: set[str] = set()
+    for request in requests:
+        key = request.key
+        if key in seen:
+            continue
+        seen.add(key)
+        record = store.get(key)
+        if record is None:  # pragma: no cover - defensive; put() always lands
+            raise RuntimeError(f"campaign finished but key {key} is missing from the store")
+        records.append(record)
+
+    return CampaignResult(
+        records=records,
+        executed=len(pending),
+        cached=cached,
+        failed=sum(1 for r in records if r.get("status") == "failed"),
+        elapsed_s=time.perf_counter() - start,
+        store_path=str(store.path),
+    )

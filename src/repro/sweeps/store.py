@@ -1,0 +1,210 @@
+"""Content-addressed, resumable on-disk result store for sweep campaigns.
+
+Every completed (or failed) run is one JSON object appended to
+``results.jsonl`` inside the store directory, addressed by its
+:func:`run_key` -- a SHA-256 digest of the canonical JSON encoding of every
+code-relevant parameter of the run (see the package docstring in
+:mod:`repro.sweeps` for the exact contract).  Appending is crash-safe in the
+sense that an interrupted campaign leaves at most one truncated trailing
+line, which :class:`ResultStore` skips on reload; rerunning the campaign with
+``resume=True`` then executes only the missing keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.experiments.harness import AlgorithmRun, RunFailure
+from repro.workloads.scaling import Scenario
+from repro.workloads.shapes import ProblemShape
+
+#: Version of the key/record schema.  Bump to invalidate every cached result
+#: after a change that alters what the simulator measures for the same
+#: parameters (counters semantics, scenario derivation, ...).
+KEY_VERSION = 1
+
+#: Name of the append-only record file inside a store directory.
+RESULTS_FILENAME = "results.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# Canonical (de)serialization of scenarios and runs
+# ---------------------------------------------------------------------------
+def shape_to_dict(shape: ProblemShape) -> dict:
+    return {"m": shape.m, "n": shape.n, "k": shape.k, "family": shape.family}
+
+
+def shape_from_dict(data: Mapping) -> ProblemShape:
+    return ProblemShape(m=data["m"], n=data["n"], k=data["k"], family=data["family"])
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    return {
+        "name": scenario.name,
+        "shape": shape_to_dict(scenario.shape),
+        "p": scenario.p,
+        "memory_words": scenario.memory_words,
+        "regime": scenario.regime,
+    }
+
+
+def scenario_from_dict(data: Mapping) -> Scenario:
+    return Scenario(
+        name=data["name"],
+        shape=shape_from_dict(data["shape"]),
+        p=data["p"],
+        memory_words=data["memory_words"],
+        regime=data["regime"],
+    )
+
+
+def run_key(
+    algorithm: str,
+    scenario: Scenario,
+    mode: str = "volume",
+    seed: int = 0,
+    verify: bool = True,
+) -> str:
+    """The content address of one run: SHA-256 over its canonical JSON identity.
+
+    Only code-relevant parameters participate -- the algorithm name, the full
+    scenario (shape, p, memory, regime, name), the transport mode, the input
+    seed, the verification flag and :data:`KEY_VERSION`.  Python's randomized
+    ``hash()`` is never involved, so keys are stable across processes and
+    interpreter restarts (asserted by ``tests/test_sweeps_store.py``).
+    """
+    identity = {
+        "key_version": KEY_VERSION,
+        "algorithm": algorithm,
+        "scenario": scenario_to_dict(scenario),
+        "mode": mode,
+        "seed": seed,
+        "verify": bool(verify),
+    }
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+#: AlgorithmRun fields stored under ``metrics`` (everything except the
+#: identity fields, which live at the top level of the record).
+_METRIC_FIELDS = (
+    "correct",
+    "verified",
+    "mean_words_per_rank",
+    "mean_received_per_rank",
+    "max_words_per_rank",
+    "max_received_per_rank",
+    "max_flops_per_rank",
+    "total_flops",
+    "rounds",
+    "input_words_per_rank",
+    "output_words_per_rank",
+    "max_messages_per_rank",
+)
+
+
+def run_to_record(run: AlgorithmRun, key: str, seed: int = 0) -> dict:
+    """Serialize a successful run into a store record."""
+    return {
+        "key": key,
+        "status": "ok",
+        "algorithm": run.algorithm,
+        "scenario": scenario_to_dict(run.scenario),
+        "mode": run.mode,
+        "seed": seed,
+        "metrics": {field: getattr(run, field) for field in _METRIC_FIELDS},
+    }
+
+
+def failure_to_record(failure: RunFailure, key: str, seed: int = 0) -> dict:
+    """Serialize a captured per-run failure into a store record."""
+    return {
+        "key": key,
+        "status": "failed",
+        "algorithm": failure.algorithm,
+        "scenario": scenario_to_dict(failure.scenario),
+        "mode": failure.mode,
+        "seed": seed,
+        "error": {"type": failure.error_type, "message": failure.error_message},
+    }
+
+
+def record_to_run(record: Mapping) -> AlgorithmRun:
+    """Rebuild the :class:`AlgorithmRun` of an ``"ok"`` record."""
+    if record.get("status") != "ok":
+        raise ValueError(f"record {record.get('key')} is not a successful run")
+    return AlgorithmRun(
+        algorithm=record["algorithm"],
+        scenario=scenario_from_dict(record["scenario"]),
+        mode=record["mode"],
+        **record["metrics"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store itself
+# ---------------------------------------------------------------------------
+class ResultStore:
+    """Append-only JSON-lines store of run records, indexed by run key.
+
+    The in-memory index is loaded once at construction; :meth:`put` updates
+    both the index and the file (append + flush), so a store object stays
+    consistent with the directory it wraps.  Reopening the same directory in
+    another process sees every fully written record.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._records: dict[str, dict] = {}
+        self._load()
+
+    @property
+    def results_file(self) -> Path:
+        return self.path / RESULTS_FILENAME
+
+    def _load(self) -> None:
+        if not self.results_file.exists():
+            return
+        with self.results_file.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A campaign killed mid-append leaves one truncated line;
+                    # that run simply reruns on resume.
+                    continue
+                if isinstance(record, dict) and "key" in record:
+                    self._records[record["key"]] = record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def get(self, key: str) -> dict | None:
+        return self._records.get(key)
+
+    def put(self, record: Mapping) -> None:
+        """Append one record (a dict with a ``"key"``) and index it."""
+        record = dict(record)
+        if "key" not in record:
+            raise ValueError("record must carry its run key under 'key'")
+        with self.results_file.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        self._records[record["key"]] = record
+
+    def records(self) -> list[dict]:
+        """All indexed records (last write per key wins), in file order."""
+        return list(self._records.values())

@@ -50,8 +50,13 @@ class Scenario:
         return self.aggregate_memory / self.shape.footprint_words
 
 
-def _shape_for_footprint(family: str, footprint: float) -> ProblemShape:
-    """Derive a shape of the given family whose footprint is ~``footprint`` words."""
+def shape_for_footprint(family: str, footprint: float) -> ProblemShape:
+    """Derive a shape of the given family whose footprint is ~``footprint`` words.
+
+    This is the one place the footprint -> dimensions convention lives; the
+    weak-scaling generators below and the sweep engine's strong-regime
+    expansion (:mod:`repro.sweeps.spec`) all derive their shapes through it.
+    """
     if footprint < 12:
         footprint = 12.0
     if family == "square":
@@ -115,7 +120,7 @@ def limited_memory_sweep(
     scenarios = []
     for p in p_values:
         p = check_positive_int(p, "p")
-        shape = _shape_for_footprint(family, p * memory_words / 2.0)
+        shape = shape_for_footprint(family, p * memory_words / 2.0)
         scenarios.append(
             Scenario(
                 name=f"{family}-limited-p{p}",
@@ -138,7 +143,7 @@ def extra_memory_sweep(
     scenarios = []
     for p in p_values:
         p = check_positive_int(p, "p")
-        shape = _shape_for_footprint(family, (p ** (2.0 / 3.0)) * memory_words / 2.0)
+        shape = shape_for_footprint(family, (p ** (2.0 / 3.0)) * memory_words / 2.0)
         scenarios.append(
             Scenario(
                 name=f"{family}-extra-p{p}",
@@ -159,7 +164,7 @@ def all_regime_sweeps(
 ) -> dict[str, list[Scenario]]:
     """Convenience bundle of the three regimes for one shape family."""
     if strong_shape is None:
-        strong_shape = _shape_for_footprint(family, max(p_values) * memory_words / 2.0)
+        strong_shape = shape_for_footprint(family, max(p_values) * memory_words / 2.0)
     return {
         "strong": strong_scaling_sweep(strong_shape, p_values, memory_words=memory_words),
         "limited": limited_memory_sweep(family, p_values, memory_words),

@@ -140,3 +140,61 @@ class TestEvolution:
 
     def test_naive_1d_needs_all_of_b(self):
         assert io_cost_naive_1d(64, 64, 64, 8) >= 64 * 64
+
+
+class TestPredict:
+    """The shared entry point the sweep aggregator (and CLI) goes through."""
+
+    def _scenario(self):
+        from repro.workloads.scaling import Scenario
+        from repro.workloads.shapes import square_shape
+
+        return Scenario(name="s", shape=square_shape(512), p=64, memory_words=16384, regime="limited")
+
+    def test_predict_matches_per_algorithm_formulas(self):
+        from repro.baselines.costs import predict
+
+        scenario = self._scenario()
+        m = n = k = 512
+        p, s = 64, 16384
+        expected_io = {
+            "COSMA": io_cost_cosma(m, n, k, p, s),
+            "ScaLAPACK": io_cost_2d(m, n, k, p),
+            "CTF": io_cost_25d(m, n, k, p, s),
+            "CARMA": io_cost_carma(m, n, k, p, s),
+            "Cannon": io_cost_2d(m, n, k, p),
+        }
+        for algorithm, expected in expected_io.items():
+            prediction = predict(algorithm, scenario)
+            assert prediction.io_words_per_rank == pytest.approx(expected)
+            assert prediction.latency_rounds > 0
+            assert prediction.flops_per_rank == pytest.approx(2 * m * n * k / p)
+
+    def test_aliases_agree_with_harness_names(self):
+        from repro.baselines.costs import predict
+
+        scenario = self._scenario()
+        assert predict("SUMMA", scenario).io_words_per_rank == predict("ScaLAPACK", scenario).io_words_per_rank
+        assert predict("2D", scenario).io_words_per_rank == predict("ScaLAPACK", scenario).io_words_per_rank
+        assert predict("2.5D", scenario).io_words_per_rank == predict("CTF", scenario).io_words_per_rank
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.baselines.costs import predict
+
+        with pytest.raises(KeyError):
+            predict("MAGMA", self._scenario())
+
+    def test_analytic_time_prices_the_prediction(self):
+        from repro.baselines.costs import predict
+        from repro.experiments.perf_model import analytic_time
+        from repro.machine.topology import PIZ_DAINT_LIKE
+
+        scenario = self._scenario()
+        prediction = predict("COSMA", scenario)
+        expected = PIZ_DAINT_LIKE.compute_time(prediction.flops_per_rank) + PIZ_DAINT_LIKE.communication_time(
+            prediction.io_words_per_rank, prediction.latency_rounds
+        )
+        assert analytic_time(prediction) == pytest.approx(expected)
+        assert analytic_time("COSMA", scenario) == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            analytic_time("COSMA")

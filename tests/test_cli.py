@@ -39,6 +39,76 @@ class TestCompareCommand:
         assert "ScaLAPACK" not in out
 
 
+class TestSweepCommand:
+    def test_small_campaign_and_cached_rerun(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--families", "square", "--regimes", "limited",
+            "--processors", "4", "9", "--algorithms", "COSMA", "CARMA",
+            "--mode", "volume", "--jobs", "1", "--out", str(tmp_path / "store"),
+        ]
+        code = main(argv)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "executed 4, cached 0, failed 0" in out
+        assert "COSMA words/rank" in out
+        assert "volume mode" in out
+
+        code = main(argv)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "executed 0, cached 4, failed 0" in out
+
+    def test_parallel_jobs(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--families", "square", "--regimes", "limited",
+            "--processors", "4", "--algorithms", "COSMA",
+            "--jobs", "2", "--out", str(tmp_path / "store"),
+        ])
+        assert code == 0
+        assert "executed 1, cached 0, failed 0" in capsys.readouterr().out
+
+    def test_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "from-file",
+            "algorithms": ["COSMA"],
+            "families": ["square"],
+            "regimes": ["limited"],
+            "p_values": [4],
+            "memory_words": 1024,
+            "mode": "volume",
+        }))
+        code = main(["sweep", "--spec", str(spec_path), "--out", str(tmp_path / "store")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign 'from-file': 1 runs" in out
+
+    def test_spec_conflicts_with_campaign_flags(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"name": "x", "algorithms": ["COSMA"],
+                                         "p_values": [4], "mode": "volume"}))
+        code = main(["sweep", "--spec", str(spec_path), "--mode", "legacy",
+                     "--out", str(tmp_path / "store")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--spec replaces the campaign flags" in err
+        assert "--mode" in err
+
+    def test_full_table(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--families", "square", "--regimes", "limited",
+            "--processors", "4", "--algorithms", "COSMA",
+            "--out", str(tmp_path / "store"), "--full-table",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "predicted_io_words_per_rank" in out
+
+
 class TestBoundsCommand:
     def test_prints_all_rows(self, capsys):
         code = main(["bounds", "--m", "256", "--n", "256", "--k", "256", "--processors", "16", "--memory", "4096"])

@@ -1,0 +1,147 @@
+"""Tests for the campaign runner: parallel determinism and failure capture."""
+
+import pytest
+
+import repro.experiments.harness as harness
+from repro.experiments.harness import AlgorithmRun, RunFailure, run_algorithm_safe, sweep
+from repro.sweeps.aggregate import rows_to_json, runs_from_records, scenario_summary_table, tidy_rows
+from repro.sweeps.runner import run_campaign
+from repro.sweeps.spec import SweepSpec, spec_from_scenarios
+from repro.workloads.scaling import Scenario
+from repro.workloads.shapes import square_shape
+
+
+@pytest.fixture
+def spec() -> SweepSpec:
+    return SweepSpec(
+        name="runner-test",
+        algorithms=("COSMA", "ScaLAPACK", "CTF", "CARMA"),
+        families=("square", "largeK"),
+        regimes=("limited",),
+        p_values=(4, 9),
+        memory_words=1024,
+        mode="volume",
+    )
+
+
+def _explode(a, b, scenario, machine):
+    raise RuntimeError(f"boom on {scenario.name}")
+
+
+@pytest.fixture
+def exploding_algorithm(monkeypatch):
+    monkeypatch.setitem(harness.ALGORITHMS, "Explode", _explode)
+    return "Explode"
+
+
+class TestDeterminism:
+    def test_parallel_rows_byte_identical_to_serial(self, tmp_path, spec):
+        """A 2-job campaign must aggregate exactly like the serial one."""
+        serial = run_campaign(spec, store=tmp_path / "serial", jobs=1)
+        parallel = run_campaign(spec, store=tmp_path / "parallel", jobs=2)
+        assert serial.executed == parallel.executed == len(spec.expand())
+        assert rows_to_json(tidy_rows(serial.records)) == rows_to_json(tidy_rows(parallel.records))
+
+    def test_records_follow_expansion_order(self, tmp_path, spec):
+        result = run_campaign(spec, store=tmp_path / "store", jobs=2)
+        expected = [request.key for request in spec.expand()]
+        assert [record["key"] for record in result.records] == expected
+
+    def test_parallel_campaign_resumes_serial_store(self, tmp_path, spec):
+        store_path = tmp_path / "store"
+        run_campaign(spec, store=store_path, jobs=1)
+        warm = run_campaign(spec, store=store_path, jobs=2)
+        assert (warm.executed, warm.cached) == (0, len(spec.expand()))
+
+
+class TestCampaignResult:
+    def test_runs_rebuild_algorithm_runs(self, tmp_path, spec):
+        result = run_campaign(spec, store=tmp_path / "store", jobs=1)
+        runs = result.runs()
+        assert len(runs) == len(spec.expand())
+        assert all(isinstance(run, AlgorithmRun) for run in runs)
+        assert runs_from_records(result.records) == runs
+
+    def test_progress_callback_sees_every_record(self, tmp_path, spec):
+        seen: list[tuple[str, bool]] = []
+        run_campaign(spec, store=tmp_path / "store", jobs=1,
+                     progress=lambda record, cached: seen.append((record["key"], cached)))
+        assert len(seen) == len(spec.expand())
+        assert all(not cached for _, cached in seen)
+        seen.clear()
+        run_campaign(spec, store=tmp_path / "store", jobs=1,
+                     progress=lambda record, cached: seen.append((record["key"], cached)))
+        assert all(cached for _, cached in seen)
+
+    def test_jobs_must_be_positive(self, tmp_path, spec):
+        with pytest.raises(ValueError):
+            run_campaign(spec, store=tmp_path / "store", jobs=0)
+
+    def test_duplicate_requests_counted_once(self, tmp_path):
+        dup = SweepSpec(name="dup", algorithms=("COSMA", "COSMA"), families=("square",),
+                        regimes=("limited",), p_values=(4,), memory_words=1024, mode="volume")
+        store_path = tmp_path / "store"
+        cold = run_campaign(dup, store=store_path, jobs=1)
+        assert (cold.executed, cold.cached, len(cold.records)) == (1, 0, 1)
+        warm = run_campaign(dup, store=store_path, jobs=1)
+        assert (warm.executed, warm.cached, len(warm.records)) == (0, 1, 1)
+
+
+class TestFailureCapture:
+    def test_run_algorithm_safe_returns_structured_failure(self, exploding_algorithm):
+        scenario = Scenario(name="s", shape=square_shape(16), p=4, memory_words=1024, regime="strong")
+        outcome = run_algorithm_safe(exploding_algorithm, scenario, mode="volume")
+        assert isinstance(outcome, RunFailure)
+        assert outcome.error_type == "RuntimeError"
+        assert "boom on s" in outcome.error_message
+        assert not outcome.correct
+
+    def test_run_algorithm_safe_still_rejects_unknown_names(self):
+        scenario = Scenario(name="s", shape=square_shape(16), p=4, memory_words=1024, regime="strong")
+        with pytest.raises(KeyError):
+            run_algorithm_safe("MAGMA", scenario)
+
+    def test_sweep_capture_keeps_going(self, exploding_algorithm):
+        scenarios = [Scenario(name=f"s{p}", shape=square_shape(16), p=p,
+                              memory_words=1024, regime="strong") for p in (2, 4)]
+        outcomes = sweep(scenarios, algorithms=("COSMA", exploding_algorithm),
+                         mode="volume", on_error="capture")
+        assert len(outcomes) == 4
+        assert sum(isinstance(o, RunFailure) for o in outcomes) == 2
+        with pytest.raises(RuntimeError):
+            sweep(scenarios, algorithms=(exploding_algorithm,), mode="volume")
+        with pytest.raises(ValueError):
+            sweep(scenarios, algorithms=("COSMA",), on_error="ignore")
+
+    def test_campaign_persists_failures_and_completes(self, tmp_path, exploding_algorithm):
+        scenarios = [Scenario(name=f"s{p}", shape=square_shape(16), p=p,
+                              memory_words=1024, regime="strong") for p in (2, 4)]
+        spec = spec_from_scenarios(scenarios, algorithms=("COSMA", exploding_algorithm), mode="volume")
+        result = run_campaign(spec, store=tmp_path / "store", jobs=1)
+        assert result.executed == 4
+        assert result.failed == 2
+        assert len(result.ok_records) == 2
+        for record in result.failed_records:
+            assert record["error"]["type"] == "RuntimeError"
+
+        rows = tidy_rows(result.records)
+        failed_rows = [row for row in rows if row["status"] == "failed"]
+        assert len(failed_rows) == 2
+        assert all(row["error_type"] == "RuntimeError" for row in failed_rows)
+        assert "failed" in scenario_summary_table(rows)
+
+        # Failed records are cached too: the rerun executes nothing.
+        warm = run_campaign(spec, store=tmp_path / "store", jobs=1)
+        assert (warm.executed, warm.cached, warm.failed) == (0, 4, 2)
+
+    def test_retry_failures_reexecutes_only_failed_records(self, tmp_path, exploding_algorithm,
+                                                           monkeypatch):
+        scenarios = [Scenario(name=f"s{p}", shape=square_shape(16), p=p,
+                              memory_words=1024, regime="strong") for p in (2, 4)]
+        spec = spec_from_scenarios(scenarios, algorithms=("COSMA", exploding_algorithm), mode="volume")
+        run_campaign(spec, store=tmp_path / "store", jobs=1)
+        # The environment recovers: the algorithm stops exploding.
+        monkeypatch.setitem(harness.ALGORITHMS, exploding_algorithm,
+                            harness.ALGORITHMS["COSMA"])
+        retried = run_campaign(spec, store=tmp_path / "store", jobs=1, retry_failures=True)
+        assert (retried.executed, retried.cached, retried.failed) == (2, 2, 0)

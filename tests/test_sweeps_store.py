@@ -1,0 +1,150 @@
+"""Tests for the content-addressed result store: caching, resume, stability."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.harness import run_algorithm
+from repro.sweeps.runner import run_campaign
+from repro.sweeps.spec import SweepSpec
+from repro.sweeps.store import (
+    KEY_VERSION,
+    ResultStore,
+    record_to_run,
+    run_key,
+    run_to_record,
+)
+from repro.workloads.scaling import Scenario
+from repro.workloads.shapes import square_shape
+
+
+@pytest.fixture
+def scenario() -> Scenario:
+    return Scenario(name="square-limited-p4", shape=square_shape(24), p=4,
+                    memory_words=1024, regime="limited")
+
+
+@pytest.fixture
+def spec() -> SweepSpec:
+    return SweepSpec(name="store-test", algorithms=("COSMA", "CARMA"),
+                     families=("square",), regimes=("limited",),
+                     p_values=(4, 9), memory_words=1024, mode="volume")
+
+
+class TestRunKey:
+    def test_deterministic_within_process(self, scenario):
+        assert run_key("COSMA", scenario, "volume") == run_key("COSMA", scenario, "volume")
+
+    def test_sensitive_to_parameters(self, scenario):
+        base = run_key("COSMA", scenario, "volume", seed=0, verify=True)
+        other_scenario = Scenario(name=scenario.name, shape=square_shape(25), p=scenario.p,
+                                  memory_words=scenario.memory_words, regime=scenario.regime)
+        assert run_key("CARMA", scenario, "volume") != base
+        assert run_key("COSMA", other_scenario, "volume") != base
+        assert run_key("COSMA", scenario, "legacy") != base
+        assert run_key("COSMA", scenario, "volume", seed=1) != base
+        assert run_key("COSMA", scenario, "volume", verify=False) != base
+
+    def test_stable_across_processes(self, scenario):
+        """Keys must not involve Python's per-process randomized hash()."""
+        script = (
+            "from repro.sweeps.store import run_key\n"
+            "from repro.workloads.scaling import Scenario\n"
+            "from repro.workloads.shapes import square_shape\n"
+            "s = Scenario(name='square-limited-p4', shape=square_shape(24), p=4,"
+            " memory_words=1024, regime='limited')\n"
+            "print(run_key('COSMA', s, 'volume'))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == run_key("COSMA", scenario, "volume")
+
+    def test_key_version_participates(self, scenario, monkeypatch):
+        base = run_key("COSMA", scenario, "volume")
+        monkeypatch.setattr("repro.sweeps.store.KEY_VERSION", KEY_VERSION + 1)
+        assert run_key("COSMA", scenario, "volume") != base
+
+
+class TestRecordRoundtrip:
+    def test_run_record_roundtrip_is_exact(self, scenario):
+        run = run_algorithm("COSMA", scenario, mode="volume")
+        key = run_key("COSMA", scenario, "volume")
+        # JSON floats round-trip exactly (shortest-repr), so the rebuilt run
+        # must equal the original field for field.
+        clone = record_to_run(json.loads(json.dumps(run_to_record(run, key))))
+        assert clone == run
+
+    def test_record_to_run_rejects_failures(self, scenario):
+        with pytest.raises(ValueError):
+            record_to_run({"key": "k", "status": "failed"})
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert "missing" not in store
+        assert store.get("missing") is None
+        store.put({"key": "abc", "status": "ok", "payload": 1})
+        assert "abc" in store
+        assert store.get("abc")["payload"] == 1
+        assert len(store) == 1
+
+    def test_reload_from_disk(self, tmp_path):
+        path = tmp_path / "store"
+        ResultStore(path).put({"key": "abc", "status": "ok"})
+        assert "abc" in ResultStore(path)
+
+    def test_last_write_wins(self, tmp_path):
+        path = tmp_path / "store"
+        store = ResultStore(path)
+        store.put({"key": "abc", "value": 1})
+        store.put({"key": "abc", "value": 2})
+        assert store.get("abc")["value"] == 2
+        assert ResultStore(path).get("abc")["value"] == 2
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "store"
+        store = ResultStore(path)
+        store.put({"key": "good", "value": 1})
+        with store.results_file.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn", "val')  # killed mid-append
+        reloaded = ResultStore(path)
+        assert "good" in reloaded
+        assert "torn" not in reloaded
+
+    def test_record_without_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "store").put({"status": "ok"})
+
+
+class TestResume:
+    def test_second_campaign_is_all_cache(self, tmp_path, spec):
+        store_path = tmp_path / "store"
+        cold = run_campaign(spec, store=store_path, jobs=1)
+        assert (cold.executed, cold.cached) == (4, 0)
+        warm = run_campaign(spec, store=store_path, jobs=1)
+        assert (warm.executed, warm.cached) == (0, 4)
+        assert [r["key"] for r in warm.records] == [r["key"] for r in cold.records]
+
+    def test_interrupted_campaign_resumes_missing_keys_only(self, tmp_path, spec):
+        """Kill mid-campaign (simulated by dropping records), rerun, and
+        assert only the missing keys execute."""
+        store_path = tmp_path / "store"
+        full = run_campaign(spec, store=store_path, jobs=1)
+        lines = store_path.joinpath("results.jsonl").read_text().splitlines()
+        assert len(lines) == 4
+        # Keep only the first run's record plus a torn partial write.
+        store_path.joinpath("results.jsonl").write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        resumed = run_campaign(spec, store=store_path, jobs=1)
+        assert (resumed.executed, resumed.cached) == (3, 1)
+        assert [r["key"] for r in resumed.records] == [r["key"] for r in full.records]
+        assert resumed.records == full.records
+
+    def test_no_resume_reexecutes_everything(self, tmp_path, spec):
+        store_path = tmp_path / "store"
+        run_campaign(spec, store=store_path, jobs=1)
+        forced = run_campaign(spec, store=store_path, jobs=1, resume=False)
+        assert (forced.executed, forced.cached) == (4, 0)
