@@ -1,6 +1,7 @@
 # Developer entry points (the tier-1 command from ROADMAP.md lives here too).
 #
 #   make verify       - tier-1 test suite
+#   make lint         - ruff check (config in pyproject.toml; skipped when absent)
 #   make sweep-smoke  - tiny 4-point sweep campaign through the engine (--jobs 2)
 #   make bench        - full paper figure/table benchmark suite
 #   make bench-sweep  - sweep-engine timing benchmark (writes BENCH_sweep.json)
@@ -8,10 +9,17 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify sweep-smoke bench bench-sweep
+.PHONY: verify lint sweep-smoke bench bench-sweep
 
 verify:
 	$(PY) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed - skipping lint (pip install ruff)"; \
+	fi
 
 sweep-smoke:
 	$(PY) -m repro sweep --families square --regimes limited --processors 4 9 \

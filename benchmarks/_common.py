@@ -22,7 +22,7 @@ from __future__ import annotations
 import tempfile
 from typing import Iterable, Sequence
 
-from repro.experiments.harness import DEFAULT_ALGORITHMS
+from repro.algorithms import DEFAULT_ALGORITHMS
 from repro.experiments.report import format_table
 from repro.sweeps import ResultStore, run_campaign, spec_from_scenarios
 from repro.workloads.scaling import (

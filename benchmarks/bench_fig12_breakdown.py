@@ -8,7 +8,6 @@ the overlap model, and checks the qualitative facts: the communication share
 grows with the core count, and enabling overlap never increases the total.
 """
 
-import pytest
 from _common import CORE_COUNTS, run_benchmark_sweep
 
 from repro.experiments.perf_model import time_breakdown

@@ -13,7 +13,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments.harness import DEFAULT_ALGORITHMS, sweep
+from repro.algorithms import DEFAULT_ALGORITHMS
+from repro.experiments.harness import sweep
 from repro.experiments.perf_model import simulated_time
 from repro.experiments.report import format_table, group_by_scenario
 from repro.machine.topology import MachineSpec

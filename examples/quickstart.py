@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import lower_bound_parallel, multiply
+from repro import lower_bound_parallel, multiply, plan
 
 
 def main() -> None:
@@ -40,6 +40,13 @@ def main() -> None:
     print(f"Theorem 2 lower bound   : {lower_bound_parallel(m, n, k, processors, memory_words):,.0f}")
     print(f"total words on the wire : {result.total_communicated_words:,}")
     print("result verified against numpy: OK")
+
+    # The planning layer answers "what would COSMA do?" without executing --
+    # here at a scale no laptop could multiply for real.
+    big = plan(65_536, 65_536, 65_536, processors=16_384, memory_words=2**24)
+    print(f"\nplanned paper-scale grid: {big.grid} "
+          f"({big.predicted_words_per_rank:,.0f} predicted words/rank, "
+          f"{big.predicted_optimality_ratio:.2f}x the Theorem 2 bound)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+"""Register a brand-new algorithm in ~30 lines and compare it to COSMA.
+
+The algorithm registry (:mod:`repro.algorithms`) makes backends pluggable:
+decorate a runner with the uniform ``(a, b, scenario, machine)`` signature
+with ``@register_algorithm`` and it immediately works in ``api.multiply``,
+``api.plan``, the harness, the CLI choice lists and the sweep engine --
+including analytic columns in campaign tables when you provide a cost model.
+
+Here we register "RootGEMM", the worst reasonable baseline: gather both
+inputs on rank 0, multiply there, scatter C's rows back.  Its per-processor
+cost is dominated by rank 0 receiving ~everything, which every distributed
+decomposition exists to avoid -- compare the words/rank columns.
+
+Run with::
+
+    python examples/register_algorithm.py
+
+(See ``repro/extensions/allgather.py`` for the curated version of this
+pattern: Figure 2's naive 1D all-gather baseline, shipped as an extension.)
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import register_algorithm
+from repro.experiments.harness import run_scenario
+from repro.experiments.report import format_table
+from repro.machine.collectives import scatter
+from repro.utils.intmath import split_offsets
+from repro.workloads.scaling import limited_memory_sweep
+
+
+@register_algorithm(
+    "RootGEMM",
+    io_cost=lambda m, n, k, p, s: float(m * k + k * n + m * n) * (p - 1) / p,
+    description="gather everything on rank 0, multiply, scatter C",
+)
+def root_gemm(a, b, scenario, machine):
+    m, k = a.shape
+    n = b.shape[1]
+    p = max(1, min(scenario.p, m))
+    ranks = list(range(p))
+    rows_a = split_offsets(m, p)
+    rows_b = split_offsets(k, p)
+    # Everyone starts owning a row stripe of A and B, like the 1D layout;
+    # rank 0 pulls every stripe, multiplies locally, scatters C's rows back.
+    for r, (lo, hi) in zip(ranks, rows_a):
+        machine.send(r, 0, a[lo:hi, :], kind="input")
+    for r, (lo, hi) in zip(ranks, rows_b):
+        machine.send(r, 0, b[lo:hi, :], kind="input")
+    c = machine.local_multiply(0, a, b)
+    scatter(machine, 0, ranks, {r: c[lo:hi, :] for r, (lo, hi) in zip(ranks, rows_a)},
+            kind="output")
+    return c
+
+
+def main() -> None:
+    scenario = limited_memory_sweep("square", [9], 4096)[0]
+    runs = run_scenario(scenario, algorithms=("COSMA", "ScaLAPACK", "RootGEMM"))
+    rows = [
+        [name, run.correct, round(run.mean_words_per_rank), round(run.max_words_per_rank)]
+        for name, run in runs.items()
+    ]
+    print(f"scenario: {scenario.name} (p={scenario.p}, S={scenario.memory_words} words)")
+    print(format_table(["algorithm", "correct", "mean words/rank", "max words/rank"], rows))
+
+
+if __name__ == "__main__":
+    main()

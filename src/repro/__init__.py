@@ -24,6 +24,9 @@ It provides:
   in the paper's evaluation (section 8).
 * :mod:`repro.experiments` -- the benchmark harness, performance model and
   report generators that regenerate every table and figure.
+* :mod:`repro.algorithms` -- the algorithm registry: one ``AlgorithmSpec``
+  per algorithm bundling runner, planner, Table 3 cost model and capability
+  flags; ``@register_algorithm`` adds new backends in a few lines.
 
 Quick start
 -----------
@@ -37,18 +40,34 @@ True
 """
 
 from repro._version import __version__
+from repro.algorithms import (
+    AlgorithmSpec,
+    Plan,
+    get_algorithm,
+    register_algorithm,
+    registered_algorithms,
+)
 from repro.api import (
     MultiplyResult,
+    RunReport,
     cosma_cost,
     lower_bound_parallel,
     lower_bound_sequential,
     multiply,
+    plan,
 )
 
 __all__ = [
     "__version__",
     "multiply",
+    "plan",
+    "RunReport",
     "MultiplyResult",
+    "AlgorithmSpec",
+    "Plan",
+    "get_algorithm",
+    "register_algorithm",
+    "registered_algorithms",
     "cosma_cost",
     "lower_bound_sequential",
     "lower_bound_parallel",

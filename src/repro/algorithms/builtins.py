@@ -1,0 +1,223 @@
+"""The paper's five comparison algorithms as registered :class:`AlgorithmSpec`\\ s.
+
+The names mirror the paper's comparison targets: our SUMMA stands in for
+ScaLAPACK, our 2.5D for CTF.  Each spec bundles the runner (the same closure
+bodies the harness used to hard-code), a cheap planner that mirrors the
+runner's grid/schedule derivation without touching matrices, and the Table 3
+cost formulas of :mod:`repro.baselines.costs`.
+
+Importing :mod:`repro.algorithms` registers everything here exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.registry import AlgorithmSpec, Plan, register
+from repro.baselines import costs
+from repro.baselines.cannon import cannon_multiply
+from repro.baselines.carma import (
+    carma_multiply,
+    carma_recursion_depth,
+    largest_power_of_two_at_most,
+)
+from repro.baselines.grid25d import choose_25d_grid, grid25d_multiply
+from repro.baselines.summa import choose_2d_grid, summa_multiply
+from repro.core.cosma import cosma_multiply
+from repro.core.decomposition import build_decomposition
+from repro.core.grid import ProcessorGrid, communication_volume_per_rank
+from repro.pebbling.mmm_bounds import parallel_io_lower_bound
+from repro.utils.intmath import ceil_div, split_offsets
+from repro.workloads.scaling import Scenario
+
+
+def cosma_idle_fraction(p: int, base: float = 0.03) -> float:
+    """COSMA's grid-fitting allowance ``delta`` for a ``p``-rank machine.
+
+    The paper uses ``delta = 3%`` on thousands of ranks; at simulator scale a
+    3% allowance of e.g. 9 ranks cannot drop even one rank, so allow the grid
+    optimizer to idle at least one full rank -- the trade-off ``FitRanks`` is
+    designed to make (Figure 5: dropping 1 of 65 ranks cuts volume ~36%).
+
+    This is the one home of the heuristic, shared by the harness, the public
+    API (``api.multiply`` / ``api.plan`` with ``max_idle_fraction=None``) and
+    the CLI; it used to be copy-adapted inside ``harness._run_cosma``.
+    """
+    if p <= 1:
+        return 0.0
+    return max(base, 1.5 / p)
+
+
+def _bound(scenario: Scenario) -> float:
+    shape = scenario.shape
+    return parallel_io_lower_bound(
+        shape.m, shape.n, shape.k, scenario.p, scenario.memory_words
+    )
+
+
+# ---------------------------------------------------------------------------
+# COSMA
+# ---------------------------------------------------------------------------
+def _run_cosma(a, b, scenario, machine, max_idle_fraction=None, grid=None):
+    delta = (cosma_idle_fraction(scenario.p)
+             if max_idle_fraction is None else max_idle_fraction)
+    if grid is not None and not isinstance(grid, ProcessorGrid):
+        # api.multiply passes the planned grid back in so the fitting search
+        # is not repeated by the executor.
+        grid = ProcessorGrid(*grid)
+    return cosma_multiply(
+        a, b, scenario.p, scenario.memory_words, machine=machine,
+        max_idle_fraction=delta, grid=grid,
+    ).matrix
+
+
+def _plan_cosma(scenario: Scenario, max_idle_fraction=None) -> Plan:
+    shape = scenario.shape
+    delta = (cosma_idle_fraction(scenario.p)
+             if max_idle_fraction is None else max_idle_fraction)
+    # The same call the executor makes before touching any matrix data, so
+    # the planned grid *is* the executed grid.
+    decomposition = build_decomposition(
+        shape.m, shape.n, shape.k, scenario.p, scenario.memory_words,
+        max_idle_fraction=delta,
+    )
+    grid = decomposition.grid
+    return Plan(
+        algorithm="COSMA", scenario=scenario, feasible=True,
+        grid=grid.as_tuple(), processors_used=grid.p_used,
+        rounds=decomposition.num_steps,
+        predicted_words_per_rank=communication_volume_per_rank(
+            grid, shape.m, shape.n, shape.k, memory_words=scenario.memory_words
+        ),
+        lower_bound_per_rank=_bound(scenario),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ScaLAPACK (SUMMA) and Cannon: the 2D decompositions
+# ---------------------------------------------------------------------------
+def _run_summa(a, b, scenario, machine):
+    return summa_multiply(
+        a, b, scenario.p, machine=machine, memory_words=scenario.memory_words
+    ).matrix
+
+
+def _plan_summa(scenario: Scenario) -> Plan:
+    shape = scenario.shape
+    m, n, k = shape.m, shape.n, shape.k
+    pm, pn = choose_2d_grid(m, n, scenario.p)
+    # Mirror summa_multiply's default panel width: the widest panel that fits
+    # next to the local C block in memory.
+    lm = max(hi - lo for lo, hi in split_offsets(m, pm))
+    ln = max(hi - lo for lo, hi in split_offsets(n, pn))
+    free = scenario.memory_words - lm * ln
+    panel_width = max(1, min(k, free // max(1, lm + ln)))
+    return Plan(
+        algorithm="ScaLAPACK", scenario=scenario, feasible=True,
+        grid=(pm, pn), processors_used=pm * pn,
+        rounds=ceil_div(k, panel_width),
+        predicted_words_per_rank=costs.io_cost_2d(m, n, k, pm * pn),
+        lower_bound_per_rank=_bound(scenario),
+    )
+
+
+def _run_cannon(a, b, scenario, machine):
+    return cannon_multiply(
+        a, b, scenario.p, machine=machine, memory_words=scenario.memory_words
+    ).matrix
+
+
+def _plan_cannon(scenario: Scenario) -> Plan:
+    shape = scenario.shape
+    q = max(1, math.isqrt(scenario.p))
+    return Plan(
+        algorithm="Cannon", scenario=scenario, feasible=True,
+        grid=(q, q), processors_used=q * q,
+        rounds=q,
+        predicted_words_per_rank=costs.io_cost_2d(shape.m, shape.n, shape.k, q * q),
+        lower_bound_per_rank=_bound(scenario),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CTF (2.5D) and CARMA (recursive)
+# ---------------------------------------------------------------------------
+def _run_25d(a, b, scenario, machine):
+    return grid25d_multiply(
+        a, b, scenario.p, scenario.memory_words, machine=machine
+    ).matrix
+
+
+def _plan_25d(scenario: Scenario) -> Plan:
+    shape = scenario.shape
+    m, n, k = shape.m, shape.n, shape.k
+    q, _, c = choose_25d_grid(m, n, k, scenario.p, scenario.memory_words)
+    p_used = q * q * c
+    return Plan(
+        algorithm="CTF", scenario=scenario, feasible=True,
+        grid=(q, q, c), processors_used=p_used,
+        rounds=max(1, int(math.ceil(
+            costs.latency_cost_25d(m, n, k, p_used, scenario.memory_words)
+        ))),
+        predicted_words_per_rank=costs.io_cost_25d(m, n, k, p_used, scenario.memory_words),
+        lower_bound_per_rank=_bound(scenario),
+    )
+
+
+def _run_carma(a, b, scenario, machine):
+    return carma_multiply(
+        a, b, scenario.p, machine=machine, memory_words=scenario.memory_words
+    ).matrix
+
+
+def _plan_carma(scenario: Scenario) -> Plan:
+    shape = scenario.shape
+    m, n, k = shape.m, shape.n, shape.k
+    usable = largest_power_of_two_at_most(scenario.p)
+    # Mirror carma_multiply's degenerate-split guard.
+    while usable > 1 and usable > m * n * k:
+        usable //= 2
+    return Plan(
+        algorithm="CARMA", scenario=scenario, feasible=True,
+        grid=(usable,), processors_used=usable,
+        rounds=max(1, carma_recursion_depth(usable)),
+        predicted_words_per_rank=costs.io_cost_carma(m, n, k, usable, scenario.memory_words),
+        lower_bound_per_rank=_bound(scenario),
+    )
+
+
+def _register_builtins() -> None:
+    register(AlgorithmSpec(
+        name="COSMA", runner=_run_cosma, plan_fn=_plan_cosma,
+        io_cost=costs.io_cost_cosma, latency_cost=costs.latency_cost_cosma,
+        default_comparison=True,
+        description="near communication-optimal MMM (this paper)",
+    ))
+    register(AlgorithmSpec(
+        name="ScaLAPACK", runner=_run_summa, plan_fn=_plan_summa,
+        io_cost=lambda m, n, k, p, s: costs.io_cost_2d(m, n, k, p),
+        latency_cost=lambda m, n, k, p, s: costs.latency_cost_2d(m, n, k, p),
+        aliases=("SUMMA", "2D"), default_comparison=True,
+        description="2D SUMMA, the algorithm behind ScaLAPACK's PDGEMM",
+    ))
+    register(AlgorithmSpec(
+        name="CTF", runner=_run_25d, plan_fn=_plan_25d,
+        io_cost=costs.io_cost_25d, latency_cost=costs.latency_cost_25d,
+        aliases=("2.5D",), default_comparison=True,
+        description="2.5D decomposition of Solomonik & Demmel (CTF stand-in)",
+    ))
+    register(AlgorithmSpec(
+        name="CARMA", runner=_run_carma, plan_fn=_plan_carma,
+        io_cost=costs.io_cost_carma, latency_cost=costs.latency_cost_carma,
+        default_comparison=True,
+        description="recursive CARMA decomposition of Demmel et al.",
+    ))
+    register(AlgorithmSpec(
+        name="Cannon", runner=_run_cannon, plan_fn=_plan_cannon,
+        io_cost=lambda m, n, k, p, s: costs.io_cost_2d(m, n, k, p),
+        latency_cost=lambda m, n, k, p, s: costs.latency_cost_2d(m, n, k, p),
+        description="Cannon's 2D algorithm (square grids; subsumed by SUMMA)",
+    ))
+
+
+_register_builtins()

@@ -1,0 +1,367 @@
+"""The algorithm registry: one ``Algorithm`` interface for plan / execute / cost.
+
+The paper's whole argument is a *comparison* -- COSMA against ScaLAPACK, CTF,
+CARMA and Cannon on the same scenarios, against the same Theorem 1/2 bounds.
+This module makes "an algorithm" a first-class object so that comparison is
+data, not scattered special cases:
+
+* :class:`AlgorithmSpec` bundles a uniform runner
+  (``run(a, b, scenario, machine) -> ndarray``), a cheap planner
+  (``plan(scenario) -> Plan``: fitted grid, round estimate, predicted
+  per-rank words, feasibility -- *without* executing anything), the analytic
+  Table 3 cost hook (wired into :func:`repro.baselines.costs.predict`),
+  capability flags (supported transport modes, minimum memory) and aliases.
+* :func:`register` / the :func:`register_algorithm` decorator add specs to
+  the process-wide registry; :mod:`repro.algorithms.builtins` registers the
+  paper's five comparison targets, and ``extensions/`` modules self-register
+  on import (see :mod:`repro.extensions.allgather`).
+* :data:`ALGORITHMS` is the backward-compatible mutable-mapping view
+  (``name -> runner``) that replaces the old hard-coded dict in
+  :mod:`repro.experiments.harness`.
+
+The registry is consumed by :mod:`repro.api` (``multiply`` / ``plan``), the
+benchmark harness, the CLI (choice lists and validation) and the sweep
+engine (spec validation and infeasible-point pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import TYPE_CHECKING, Callable, Iterator, MutableMapping
+
+import numpy as np
+
+from repro.baselines import costs as _costs
+from repro.machine.transport import MODES
+from repro.pebbling.mmm_bounds import parallel_io_lower_bound
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.simulator import DistributedMachine
+    from repro.workloads.scaling import Scenario
+
+
+class UnknownAlgorithmError(KeyError):
+    """Raised for algorithm names (or aliases) the registry does not know."""
+
+    def __init__(self, name: str, known: tuple[str, ...]):
+        super().__init__(f"unknown algorithm {name!r}; known: {sorted(known)}")
+        self.name = name
+        self.known = tuple(sorted(known))
+
+    def __str__(self) -> str:  # KeyError would re-quote the message
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """What an algorithm *would* do on a scenario, derived without executing it.
+
+    Plans are cheap (grid fitting and closed-form arithmetic only -- no
+    matrices, no simulator) which is what lets the sweep runner prune
+    infeasible points before fanning out worker processes, and the CLI answer
+    "what grid / how many words" questions instantly at paper scale.
+    """
+
+    algorithm: str
+    scenario: "Scenario"
+    #: Whether the algorithm can meaningfully run this scenario.  ``False``
+    #: only for points that violate a hard precondition (invalid parameters,
+    #: or aggregate memory below the ``p*S >= mn + mk + nk`` requirement of
+    #: the parallel schedule, section 6.3); the simulator itself is lenient,
+    #: so feasibility here is an analytic statement, not a crash prediction.
+    feasible: bool
+    #: Human-readable explanation when infeasible; empty otherwise.
+    reason: str = ""
+    #: Fitted processor grid as a tuple.  The arity is algorithm-specific:
+    #: ``(pm, pn, pk)`` for COSMA/2.5D, ``(pm, pn)`` for the 2D algorithms,
+    #: ``(p,)`` for 1D/recursive decompositions.  ``None`` when unknown.
+    grid: tuple[int, ...] | None = None
+    #: Ranks the fitted grid actually uses (<= scenario.p).
+    processors_used: int = 0
+    #: Scheduled communication steps (panel exchanges / shifts).  An
+    #: estimate: executed runs additionally count reduction/collective hops
+    #: in their per-rank round totals.
+    rounds: int = 0
+    #: Analytically predicted words received per rank on the fitted grid.
+    predicted_words_per_rank: float = 0.0
+    #: Theorem 2 lower bound for the scenario (per-processor words).
+    lower_bound_per_rank: float = 0.0
+
+    @property
+    def predicted_optimality_ratio(self) -> float:
+        """Predicted per-rank volume divided by the Theorem 2 bound."""
+        if self.lower_bound_per_rank <= 0:
+            return float("inf")
+        return self.predicted_words_per_rank / self.lower_bound_per_rank
+
+
+#: Uniform runner signature: ``run(a, b, scenario, machine) -> ndarray``.
+RunnerFn = Callable[..., np.ndarray]
+#: Planner signature: ``plan(scenario, **options) -> Plan``.
+PlanFn = Callable[..., Plan]
+#: Table 3 cost-formula signature: ``cost(m, n, k, p, s) -> float``.
+CostFn = Callable[[int, int, int, int, int], float]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Everything the system needs to treat one algorithm as pluggable data."""
+
+    #: Canonical name (the paper's comparison-target name where applicable).
+    name: str
+    #: ``runner(a, b, scenario, machine) -> ndarray`` -- the uniform
+    #: execution entry point; payloads may be arrays or shape tokens.
+    runner: RunnerFn
+    #: Optional scenario planner; the generic feasibility-only plan is used
+    #: when omitted.
+    plan_fn: PlanFn | None = None
+    #: Table 3 per-processor I/O formula ``(m, n, k, p, s) -> words``;
+    #: registered into :mod:`repro.baselines.costs` so ``costs.predict`` (and
+    #: with it the sweep aggregator and CLI bounds table) covers this
+    #: algorithm.
+    io_cost: CostFn | None = None
+    #: Table 3 latency formula; defaults to zero rounds when unknown.
+    latency_cost: CostFn | None = None
+    #: Alternative lookup names (case-insensitive), e.g. ``SUMMA`` for
+    #: ScaLAPACK.
+    aliases: tuple[str, ...] = ()
+    #: Transport modes the runner supports (capability flag).
+    modes: tuple[str, ...] = tuple(MODES)
+    #: Minimum per-rank memory in words the algorithm needs at all
+    #: (capability flag; scenario-dependent requirements belong in the plan).
+    min_memory_words: int = 1
+    #: Whether the algorithm belongs to ``DEFAULT_ALGORITHMS`` (the subset
+    #: the paper's figures compare).
+    default_comparison: bool = False
+    description: str = ""
+
+    def run(self, a_matrix, b_matrix, scenario: "Scenario",
+            machine: "DistributedMachine", **options) -> np.ndarray:
+        """Execute the algorithm on an existing machine; returns the product."""
+        return self.runner(a_matrix, b_matrix, scenario, machine, **options)
+
+    def supports_mode(self, mode: str) -> bool:
+        return mode in self.modes
+
+    def plan(self, scenario: "Scenario", **options) -> Plan:
+        """Plan the scenario without executing it (see :class:`Plan`)."""
+        reason = self._infeasibility(scenario)
+        shape = scenario.shape
+        bound = 0.0
+        if scenario.p >= 1 and scenario.memory_words >= 1:
+            bound = parallel_io_lower_bound(
+                shape.m, shape.n, shape.k, scenario.p, scenario.memory_words
+            )
+        if reason is not None:
+            return Plan(
+                algorithm=self.name, scenario=scenario, feasible=False,
+                reason=reason, lower_bound_per_rank=bound,
+            )
+        if self.plan_fn is not None:
+            return self.plan_fn(scenario, **options)
+        predicted = 0.0
+        if self.io_cost is not None:
+            predicted = float(self.io_cost(
+                shape.m, shape.n, shape.k, scenario.p, scenario.memory_words
+            ))
+        return Plan(
+            algorithm=self.name, scenario=scenario, feasible=True,
+            processors_used=scenario.p, predicted_words_per_rank=predicted,
+            lower_bound_per_rank=bound,
+        )
+
+    def cost(self, scenario: "Scenario") -> _costs.CostPrediction | None:
+        """The Table 3 analytic prediction, or ``None`` if no model is known."""
+        try:
+            return _costs.predict(self.name, scenario)
+        except KeyError:
+            return None
+
+    def _infeasibility(self, scenario: "Scenario") -> str | None:
+        """Generic hard preconditions shared by every algorithm."""
+        if scenario.p < 1:
+            return f"processor count must be positive, got {scenario.p}"
+        if scenario.memory_words < 1:
+            return f"memory_words must be positive, got {scenario.memory_words}"
+        if scenario.memory_words < self.min_memory_words:
+            return (
+                f"{self.name} needs at least {self.min_memory_words} words of "
+                f"local memory, got {scenario.memory_words}"
+            )
+        footprint = scenario.shape.footprint_words
+        aggregate = scenario.p * scenario.memory_words
+        if aggregate < footprint:
+            return (
+                f"aggregate memory p*S = {aggregate} words cannot hold the "
+                f"matrices' footprint mn + mk + nk = {footprint} words "
+                "(parallel schedules require p*S >= mn + mk + nk, section 6.3)"
+            )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The process-wide registry
+# ---------------------------------------------------------------------------
+#: Canonical name -> spec, in registration order (builtins register first).
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+#: Lowercased name/alias -> canonical name.
+_LOOKUP: dict[str, str] = {}
+
+
+def register(spec: AlgorithmSpec, replace: bool = False) -> AlgorithmSpec:
+    """Add ``spec`` to the registry (and its cost model to ``costs.predict``).
+
+    ``replace=True`` allows re-registering the same canonical name (used by
+    the :data:`ALGORITHMS` compatibility view and by tests); registering a
+    name or alias that belongs to a *different* algorithm is always an error.
+    """
+    labels = (spec.name, *spec.aliases)
+    for label in labels:
+        owner = _LOOKUP.get(label.lower())
+        if owner is not None and owner != spec.name:
+            raise ValueError(
+                f"cannot register {spec.name!r}: label {label!r} already "
+                f"belongs to {owner!r}"
+            )
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"algorithm {spec.name!r} is already registered "
+            "(pass replace=True to overwrite)"
+        )
+    _REGISTRY[spec.name] = spec
+    for label in labels:
+        _LOOKUP[label.lower()] = spec.name
+    if spec.io_cost is not None:
+        _costs.register_cost_model(
+            spec.name, spec.io_cost, spec.latency_cost, aliases=spec.aliases
+        )
+    return spec
+
+
+def register_algorithm(
+    name: str,
+    aliases: tuple[str, ...] = (),
+    modes: tuple[str, ...] = tuple(MODES),
+    plan: PlanFn | None = None,
+    io_cost: CostFn | None = None,
+    latency_cost: CostFn | None = None,
+    min_memory_words: int = 1,
+    default_comparison: bool = False,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[RunnerFn], RunnerFn]:
+    """Decorator: register ``fn(a, b, scenario, machine) -> ndarray`` as ``name``.
+
+    This is the extension point: a module under ``extensions/`` (or any user
+    code) decorates its runner and the algorithm immediately works everywhere
+    -- ``api.multiply(..., algorithm=name)``, ``repro compare/sweep`` choice
+    lists, the sweep engine, and (when ``io_cost`` is given) the analytic
+    columns of every campaign table.  See the README's "adding a new
+    algorithm" walkthrough and :mod:`repro.extensions.allgather`.
+    """
+
+    def decorate(fn: RunnerFn) -> RunnerFn:
+        register(
+            AlgorithmSpec(
+                name=name, runner=fn, plan_fn=plan, io_cost=io_cost,
+                latency_cost=latency_cost, aliases=tuple(aliases),
+                modes=tuple(modes), min_memory_words=min_memory_words,
+                default_comparison=default_comparison, description=description,
+            ),
+            replace=replace,
+        )
+        return fn
+
+    return decorate
+
+
+def unregister(name: str) -> None:
+    """Remove an algorithm and its cost model (tests, compatibility view)."""
+    canonical = resolve_algorithm(name)
+    spec = _REGISTRY.pop(canonical)
+    for label in (spec.name, *spec.aliases):
+        _LOOKUP.pop(label.lower(), None)
+    if spec.io_cost is not None:
+        _costs.unregister_cost_model(spec.name, aliases=spec.aliases)
+
+
+def resolve_algorithm(name: str) -> str:
+    """Canonical name for ``name`` (alias- and case-insensitive), or raise."""
+    canonical = _LOOKUP.get(str(name).lower())
+    if canonical is None:
+        raise UnknownAlgorithmError(name, tuple(_REGISTRY))
+    return canonical
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered :class:`AlgorithmSpec` by name or alias."""
+    return _REGISTRY[resolve_algorithm(name)]
+
+
+def is_registered(name: str) -> bool:
+    return str(name).lower() in _LOOKUP
+
+
+def registered_algorithms() -> tuple[str, ...]:
+    """Canonical algorithm names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def algorithm_specs() -> tuple[AlgorithmSpec, ...]:
+    """Every registered spec, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def algorithm_choices() -> list[str]:
+    """Sorted canonical names + aliases (for CLI ``choices=`` lists)."""
+    labels = {spec.name for spec in _REGISTRY.values()}
+    for spec in _REGISTRY.values():
+        labels.update(spec.aliases)
+    return sorted(labels)
+
+
+def default_algorithms() -> tuple[str, ...]:
+    """The paper-figure comparison subset, in registration order."""
+    return tuple(name for name, spec in _REGISTRY.items() if spec.default_comparison)
+
+
+class _RunnerView(MutableMapping):
+    """Backward-compatible mapping view of the registry: ``name -> runner``.
+
+    This preserves the interface of the old hard-coded ``ALGORITHMS`` dict in
+    :mod:`repro.experiments.harness` (lookup, iteration in registration
+    order, and item assignment/deletion, which tests use to inject synthetic
+    algorithms).  Lookup accepts aliases; iteration yields canonical names
+    only.  New code should prefer :func:`get_algorithm` /
+    :func:`register_algorithm`, which carry planners and cost models too.
+    """
+
+    def __getitem__(self, name: str) -> RunnerFn:
+        return get_algorithm(name).runner
+
+    def __setitem__(self, name: str, runner: RunnerFn) -> None:
+        if is_registered(name):
+            # Keep the existing spec's planner/cost metadata, swap the runner.
+            register(_dc_replace(get_algorithm(name), runner=runner), replace=True)
+        else:
+            register(AlgorithmSpec(name=str(name), runner=runner))
+
+    def __delitem__(self, name: str) -> None:
+        unregister(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_REGISTRY)
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and is_registered(name)
+
+    def __repr__(self) -> str:
+        return f"ALGORITHMS({', '.join(_REGISTRY)})"
+
+
+#: Deprecated mapping view kept for source compatibility with the pre-registry
+#: ``experiments.harness.ALGORITHMS`` dict.
+ALGORITHMS: MutableMapping[str, RunnerFn] = _RunnerView()

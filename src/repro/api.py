@@ -1,9 +1,21 @@
-"""High-level public API.
+"""High-level public API, built on the algorithm registry.
 
-Most users only need :func:`multiply` (run COSMA on a simulated distributed
-machine and get the product plus its communication profile) and the analytic
-cost / lower-bound helpers.  Everything else is available through the
-subpackages documented in the README's architecture overview.
+Most users only need :func:`multiply` (run any registered algorithm on a
+simulated distributed machine and get a unified :class:`RunReport`),
+:func:`plan` (the planning layer: fitted grid, predicted volume and
+feasibility *without* executing anything) and the analytic cost /
+lower-bound helpers.  Everything else is available through the subpackages
+documented in the README's architecture overview.
+
+Backward compatibility: :class:`MultiplyResult` is an alias of
+:class:`RunReport` and every pre-registry field (``matrix``, ``grid``,
+``processors_used``, ``mean_words_per_rank``, ``mean_received_per_rank``,
+``total_communicated_words``, ``rounds``, ``lower_bound_per_rank``,
+``optimality_ratio``) is still there; ``multiply``'s positional argument
+order is unchanged, the registry arguments are keyword-only.  One behaviour
+change: with ``max_idle_fraction=None`` (the new default) COSMA uses the
+shared :func:`repro.algorithms.cosma_idle_fraction` heuristic instead of a
+flat 3%, matching what the benchmark harness has always done.
 """
 
 from __future__ import annotations
@@ -12,19 +24,46 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.cosma import CosmaRunResult, cosma_multiply
+from repro.algorithms import Plan, cosma_idle_fraction, get_algorithm, registered_algorithms
+from repro.baselines.costs import CostPrediction
 from repro.core.cost_model import cosma_io_cost
+from repro.machine.simulator import DistributedMachine
+from repro.machine.transport import MODES, ShapeToken
 from repro.pebbling.mmm_bounds import parallel_io_lower_bound, sequential_io_lower_bound
 from repro.utils.validation import check_positive_int
+from repro.workloads.scaling import Scenario
+from repro.workloads.shapes import ProblemShape
+
+__all__ = [
+    "RunReport",
+    "MultiplyResult",
+    "multiply",
+    "plan",
+    "list_algorithms",
+    "cosma_idle_fraction",
+    "cosma_cost",
+    "lower_bound_sequential",
+    "lower_bound_parallel",
+]
 
 
 @dataclass
-class MultiplyResult:
-    """Result of :func:`multiply`: the product plus its communication profile."""
+class RunReport:
+    """Unified result of one algorithm execution: plan + counters + bounds.
 
-    matrix: np.ndarray
-    #: Processor grid used, as a ``(pm, pn, pk)`` tuple.
-    grid: tuple[int, int, int]
+    Shared by :func:`multiply`, the benchmark harness, the CLI and the sweep
+    engine's per-run records; :class:`MultiplyResult` is its deprecated
+    pre-registry alias.
+    """
+
+    #: Canonical registry name of the algorithm that ran.
+    algorithm: str
+    #: The numerical product, or ``None`` in ``volume`` mode (shape-token
+    #: payloads carry no data).
+    matrix: np.ndarray | None
+    #: Processor grid the plan fitted (arity is algorithm-specific, e.g.
+    #: ``(pm, pn, pk)`` for COSMA).
+    grid: tuple[int, ...]
     #: Number of processors the fitted grid actually uses.
     processors_used: int
     #: Average words moved (sent + received) per rank.
@@ -33,10 +72,24 @@ class MultiplyResult:
     mean_received_per_rank: float
     #: Total words transferred across the whole machine.
     total_communicated_words: int
-    #: Number of communication rounds of the schedule.
+    #: Communication rounds on the busiest rank (the harness metric; the
+    #: schedule's planned step count is in ``plan.rounds``).
     rounds: int
     #: Theorem 2 lower bound for this problem (per-processor words).
     lower_bound_per_rank: float
+    #: The pre-execution plan (fitted grid, predicted words, feasibility).
+    plan: Plan
+    #: Transport mode the run used (``legacy`` / ``zerocopy`` / ``volume``).
+    mode: str = "legacy"
+    #: Whether the numerical result was checked against ``A @ B``.
+    verified: bool = True
+    #: Outcome of that check (``True`` whenever verification was skipped).
+    correct: bool = True
+    #: Maximum words moved through any rank (critical path).
+    max_words_per_rank: int = 0
+    total_flops: int = 0
+    #: Table 3 analytic prediction, when the algorithm has a cost model.
+    cost: CostPrediction | None = None
 
     @property
     def optimality_ratio(self) -> float:
@@ -46,14 +99,31 @@ class MultiplyResult:
         return self.mean_received_per_rank / self.lower_bound_per_rank
 
 
+#: Deprecated alias: the pre-registry name of :class:`RunReport`.
+MultiplyResult = RunReport
+
+
+def _api_scenario(m: int, n: int, k: int, processors: int, memory_words: int) -> Scenario:
+    return Scenario(
+        name=f"api-{m}x{n}x{k}-p{processors}",
+        shape=ProblemShape(m=m, n=n, k=k, family="api"),
+        p=processors,
+        memory_words=memory_words,
+        regime="api",
+    )
+
+
 def multiply(
     a_matrix: np.ndarray,
     b_matrix: np.ndarray,
     processors: int,
     memory_words: int,
-    max_idle_fraction: float = 0.03,
-) -> MultiplyResult:
-    """Multiply ``A @ B`` with COSMA on a simulated ``processors``-rank machine.
+    max_idle_fraction: float | None = None,
+    *,
+    algorithm: str = "COSMA",
+    mode: str = "legacy",
+) -> RunReport:
+    """Multiply ``A @ B`` with any registered algorithm on a simulated machine.
 
     Parameters
     ----------
@@ -64,13 +134,17 @@ def multiply(
     memory_words:
         Local memory per processor, in matrix elements (words).
     max_idle_fraction:
-        Fraction of processors the grid optimizer may leave idle (section 7.1).
-
-    Returns
-    -------
-    MultiplyResult
-        The numerical product together with the measured communication
-        profile and the matching I/O lower bound.
+        COSMA's grid-fitting ``delta`` (section 7.1).  ``None`` (default)
+        uses the shared :func:`~repro.algorithms.cosma_idle_fraction`
+        heuristic; passing a value for a non-COSMA algorithm is an error.
+    algorithm:
+        Registry name or alias (``"COSMA"``, ``"ScaLAPACK"``/``"SUMMA"``,
+        ``"CTF"``/``"2.5D"``, ``"CARMA"``, ``"Cannon"``, or anything added
+        via :func:`repro.algorithms.register_algorithm`).
+    mode:
+        Payload transport: ``"legacy"`` / ``"zerocopy"`` run and verify real
+        numerics; ``"volume"`` counts communication only (``matrix`` is
+        ``None``) and scales to paper-size grids.
 
     Examples
     --------
@@ -79,30 +153,113 @@ def multiply(
     >>> out = multiply(a, b, processors=4, memory_words=4096)
     >>> bool(np.allclose(out.matrix, a @ b))
     True
+    >>> multiply(a, b, 4, 4096, algorithm="CARMA").correct
+    True
     """
     processors = check_positive_int(processors, "processors")
     memory_words = check_positive_int(memory_words, "memory_words")
-    result: CosmaRunResult = cosma_multiply(
-        np.asarray(a_matrix),
-        np.asarray(b_matrix),
-        processors,
-        memory_words,
-        max_idle_fraction=max_idle_fraction,
-    )
-    m, k = np.asarray(a_matrix).shape
-    _, n = np.asarray(b_matrix).shape
-    bound = parallel_io_lower_bound(m, n, k, processors, memory_words)
-    counters = result.counters
-    return MultiplyResult(
-        matrix=result.matrix,
-        grid=result.grid.as_tuple(),
-        processors_used=result.grid.p_used,
+    spec = get_algorithm(algorithm)
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    if not spec.supports_mode(mode):
+        raise ValueError(f"{spec.name} does not support mode {mode!r}; supported: {spec.modes}")
+    options: dict = {}
+    if max_idle_fraction is not None:
+        if spec.name != "COSMA":
+            raise ValueError(
+                "max_idle_fraction is COSMA's grid-fitting delta; "
+                f"it does not apply to {spec.name}"
+            )
+        options["max_idle_fraction"] = max_idle_fraction
+
+    m, k = np.shape(a_matrix) if not isinstance(a_matrix, ShapeToken) else a_matrix.shape
+    k2, n = np.shape(b_matrix) if not isinstance(b_matrix, ShapeToken) else b_matrix.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions do not match: {(m, k)} x {(k2, n)}")
+    scenario = _api_scenario(m, n, k, processors, memory_words)
+    run_plan = spec.plan(scenario, **options)
+    if spec.name == "COSMA" and run_plan.feasible and run_plan.grid is not None:
+        # Hand the fitted grid back to the executor so the (identical)
+        # fitting search is not run twice per multiply.
+        options["grid"] = run_plan.grid
+
+    machine = DistributedMachine(processors, memory_words=memory_words, mode=mode)
+    if mode == "volume":
+        a_in: np.ndarray | ShapeToken = ShapeToken((m, k))
+        b_in: np.ndarray | ShapeToken = ShapeToken((k, n))
+    else:
+        a_in = np.asarray(a_matrix)
+        b_in = np.asarray(b_matrix)
+    product = spec.run(a_in, b_in, scenario, machine, **options)
+    machine.counters.assert_conservation()
+
+    verified = mode != "volume"
+    correct = True
+    if verified:
+        correct = bool(np.allclose(product, a_in @ b_in, atol=1e-8 * k))
+    counters = machine.counters
+    bound = run_plan.lower_bound_per_rank  # same inputs as the Theorem 2 call
+    return RunReport(
+        algorithm=spec.name,
+        matrix=None if mode == "volume" else product,
+        grid=run_plan.grid if run_plan.grid is not None else (processors,),
+        processors_used=run_plan.processors_used or processors,
         mean_words_per_rank=counters.mean_words_per_rank(),
         mean_received_per_rank=counters.mean_received_per_rank(),
         total_communicated_words=counters.total_words_sent,
-        rounds=result.num_rounds,
+        rounds=counters.max_rounds(),
         lower_bound_per_rank=bound,
+        plan=run_plan,
+        mode=mode,
+        verified=verified,
+        correct=correct,
+        max_words_per_rank=counters.max_words_per_rank(),
+        total_flops=counters.total_flops,
+        cost=spec.cost(scenario),
     )
+
+
+def plan(
+    m: int,
+    n: int,
+    k: int,
+    processors: int,
+    memory_words: int,
+    algorithm: str = "COSMA",
+    max_idle_fraction: float | None = None,
+) -> Plan:
+    """Plan a run without executing it: fitted grid, predicted words, feasibility.
+
+    This is the registry's planning layer (:meth:`AlgorithmSpec.plan`)
+    exposed on explicit problem dimensions; the sweep engine uses the same
+    layer to prune infeasible campaign points before fanning out workers.
+
+    Examples
+    --------
+    >>> p = plan(256, 256, 256, processors=8, memory_words=65536)
+    >>> p.feasible, p.processors_used <= 8
+    (True, True)
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    processors = check_positive_int(processors, "processors")
+    memory_words = check_positive_int(memory_words, "memory_words")
+    spec = get_algorithm(algorithm)
+    options: dict = {}
+    if max_idle_fraction is not None:
+        if spec.name != "COSMA":
+            raise ValueError(
+                "max_idle_fraction is COSMA's grid-fitting delta; "
+                f"it does not apply to {spec.name}"
+            )
+        options["max_idle_fraction"] = max_idle_fraction
+    return spec.plan(_api_scenario(m, n, k, processors, memory_words), **options)
+
+
+def list_algorithms() -> tuple[str, ...]:
+    """Canonical names of every registered algorithm, in registration order."""
+    return registered_algorithms()
 
 
 def cosma_cost(m: int, n: int, k: int, processors: int, memory_words: int) -> float:
@@ -118,3 +275,4 @@ def lower_bound_sequential(m: int, n: int, k: int, memory_words: int) -> float:
 def lower_bound_parallel(m: int, n: int, k: int, processors: int, memory_words: int) -> float:
     """Theorem 2: parallel MMM per-processor I/O lower bound."""
     return parallel_io_lower_bound(m, n, k, processors, memory_words)
+

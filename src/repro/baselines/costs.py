@@ -153,6 +153,36 @@ _COST_MODELS["SUMMA"] = _COST_MODELS["2D"] = _COST_MODELS["ScaLAPACK"]
 _COST_MODELS["2.5D"] = _COST_MODELS["CTF"]
 
 
+def register_cost_model(algorithm: str, io_fn, latency_fn=None, aliases=()) -> None:
+    """Register the Table-3-style formulas of an algorithm (and its aliases).
+
+    Called by :func:`repro.algorithms.registry.register` for every spec that
+    carries cost formulas, so :func:`predict` / :func:`predict_mnk` -- and
+    with them the sweep aggregator, the performance model and the CLI
+    ``bounds`` table -- automatically cover algorithms registered from
+    outside this module.  ``latency_fn`` defaults to zero rounds when the
+    algorithm has no published latency analysis.
+    """
+    if latency_fn is None:
+        def latency_fn(m, n, k, p, s):
+            return 0.0
+    _COST_MODELS[algorithm] = (io_fn, latency_fn)
+    for alias in aliases:
+        _COST_MODELS[alias] = _COST_MODELS[algorithm]
+
+
+def unregister_cost_model(algorithm: str, aliases=()) -> None:
+    """Retract a registered cost model (the registry's unregister hook).
+
+    Without this, ``predict`` would keep answering for an algorithm the
+    registry no longer knows -- or worse, attribute a stale model to an
+    unrelated algorithm registered later under the same name.
+    """
+    _COST_MODELS.pop(algorithm, None)
+    for alias in aliases:
+        _COST_MODELS.pop(alias, None)
+
+
 def predict_mnk(algorithm: str, m: int, n: int, k: int, p: int, s: int) -> CostPrediction:
     """Predict the Table 3 costs of ``algorithm`` on an explicit problem."""
     if algorithm not in _COST_MODELS:

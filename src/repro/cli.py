@@ -3,12 +3,18 @@
 Exposes the library's main entry points without writing any Python::
 
     python -m repro multiply --m 256 --n 320 --k 192 --processors 16 --memory 16384
+    python -m repro multiply --m 256 --n 256 --k 256 --processors 16 --memory 16384 --algorithm CARMA
+    python -m repro plan     --m 4096 --n 4096 --k 4096 --processors 1024 --memory 65536 --algorithm CTF
     python -m repro compare  --family square --regime limited --processors 4 16 36
     python -m repro compare  --family square --regime limited --processors 256 1024 --mode volume
     python -m repro sweep    --families square largeK --regimes limited extra --processors 4 16 36 64 --jobs 4
     python -m repro bounds   --m 4096 --n 4096 --k 4096 --processors 512 --memory 65536
     python -m repro grid     --m 4096 --n 4096 --k 4096 --processors 65
     python -m repro sequential --size 32 --memory 64 128 256
+
+Algorithm names (and their choice lists) come from the algorithm registry
+(:mod:`repro.algorithms`); aliases like ``SUMMA`` or ``2.5D`` are accepted
+anywhere an algorithm is named.
 
 Each subcommand prints a plain-text report; exit code 0 means every executed
 multiplication verified against numpy.
@@ -24,10 +30,17 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.api import lower_bound_parallel, lower_bound_sequential, multiply
+from repro.algorithms import (
+    DEFAULT_ALGORITHMS,
+    algorithm_choices,
+    algorithm_specs,
+    registered_algorithms,
+    resolve_algorithm,
+)
+from repro.api import lower_bound_parallel, lower_bound_sequential, multiply, plan
 from repro.baselines.costs import predict_mnk
 from repro.core.grid import fit_ranks
-from repro.experiments.harness import ALGORITHMS, DEFAULT_ALGORITHMS, sweep
+from repro.experiments.harness import sweep
 from repro.experiments.perf_model import simulated_time
 from repro.experiments.report import format_table, group_by_scenario
 from repro.machine.topology import MachineSpec
@@ -48,20 +61,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_mult = sub.add_parser("multiply", help="run COSMA on random matrices and report its communication")
+    p_mult = sub.add_parser("multiply", help="run one algorithm on random matrices and report its communication")
     p_mult.add_argument("--m", type=int, default=256)
     p_mult.add_argument("--n", type=int, default=256)
     p_mult.add_argument("--k", type=int, default=256)
     p_mult.add_argument("--processors", type=int, default=16)
     p_mult.add_argument("--memory", type=int, default=16384, help="words of local memory per processor")
     p_mult.add_argument("--seed", type=int, default=0)
+    p_mult.add_argument("--algorithm", choices=algorithm_choices(), default="COSMA")
+    p_mult.add_argument(
+        "--mode", choices=list(MODES), default="legacy",
+        help="payload transport; 'volume' counts communication only (no numerics)",
+    )
+
+    p_plan = sub.add_parser("plan", help="plan a run (grid / rounds / predicted words) without executing it")
+    p_plan.add_argument("--m", type=int, required=True)
+    p_plan.add_argument("--n", type=int, required=True)
+    p_plan.add_argument("--k", type=int, required=True)
+    p_plan.add_argument("--processors", type=int, required=True)
+    p_plan.add_argument("--memory", type=int, required=True)
+    p_plan.add_argument("--algorithm", choices=algorithm_choices(), default="COSMA")
 
     p_cmp = sub.add_parser("compare", help="compare COSMA against the baselines on a scenario sweep")
-    p_cmp.add_argument("--family", choices=["square", "largeK", "largeM", "flat"], default="square")
-    p_cmp.add_argument("--regime", choices=["strong", "limited", "extra"], default="limited")
+    p_cmp.add_argument("--family", choices=list(FAMILIES), default="square")
+    p_cmp.add_argument("--regime", choices=list(REGIMES), default="limited")
     p_cmp.add_argument("--processors", type=int, nargs="+", default=[4, 16, 36])
     p_cmp.add_argument("--memory", type=int, default=2048)
-    p_cmp.add_argument("--algorithms", nargs="+", default=list(DEFAULT_ALGORITHMS))
+    p_cmp.add_argument(
+        "--algorithms", nargs="+", choices=algorithm_choices(),
+        default=list(DEFAULT_ALGORITHMS),
+        help="registry names or aliases (e.g. SUMMA for ScaLAPACK)",
+    )
     p_cmp.add_argument(
         "--mode",
         choices=list(MODES),
@@ -84,7 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--regimes", nargs="+", choices=list(REGIMES), default=None)
     p_sweep.add_argument("--processors", type=int, nargs="+", default=None)
     p_sweep.add_argument("--memory", type=int, default=None, help="words of local memory per processor (default: 2048)")
-    p_sweep.add_argument("--algorithms", nargs="+", choices=sorted(ALGORITHMS), default=None)
+    p_sweep.add_argument("--algorithms", nargs="+", choices=algorithm_choices(), default=None)
     p_sweep.add_argument(
         "--mode", choices=list(MODES), default=None,
         help="payload transport; 'volume' (default) simulates counters only and scales to paper-size grids",
@@ -138,18 +168,47 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((args.m, args.k))
     b = rng.standard_normal((args.k, args.n))
-    result = multiply(a, b, processors=args.processors, memory_words=args.memory)
-    correct = bool(np.allclose(result.matrix, a @ b))
+    result = multiply(
+        a, b, processors=args.processors, memory_words=args.memory,
+        algorithm=args.algorithm, mode=args.mode,
+    )
     print(f"problem              : C({args.m}x{args.n}) = A({args.m}x{args.k}) B({args.k}x{args.n})")
+    print(f"algorithm            : {result.algorithm}")
     print(f"processor grid       : {result.grid} ({result.processors_used}/{args.processors} used)")
     print(f"rounds               : {result.rounds}")
     print(f"words received/rank  : {result.mean_received_per_rank:,.0f}")
     print(f"Theorem 2 bound      : {result.lower_bound_per_rank:,.0f}")
-    print(f"verified against numpy: {'OK' if correct else 'MISMATCH'}")
-    return 0 if correct else 1
+    print(f"optimality ratio     : {result.optimality_ratio:.3f}")
+    if not result.verified:
+        print("verified against numpy: SKIPPED (volume mode: counters-only payloads)")
+        return 0
+    print(f"verified against numpy: {'OK' if result.correct else 'MISMATCH'}")
+    return 0 if result.correct else 1
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    run_plan = plan(
+        args.m, args.n, args.k, processors=args.processors,
+        memory_words=args.memory, algorithm=args.algorithm,
+    )
+    print(f"algorithm            : {run_plan.algorithm}")
+    print(f"feasible             : {'yes' if run_plan.feasible else 'no'}")
+    if not run_plan.feasible:
+        print(f"reason               : {run_plan.reason}")
+        return 1
+    print(f"fitted grid          : {run_plan.grid}")
+    print(f"ranks used/available : {run_plan.processors_used}/{args.processors}")
+    print(f"scheduled steps      : {run_plan.rounds}")
+    print(f"predicted words/rank : {run_plan.predicted_words_per_rank:,.0f}")
+    print(f"Theorem 2 bound      : {run_plan.lower_bound_per_rank:,.0f}")
+    print(f"predicted ratio      : {run_plan.predicted_optimality_ratio:.3f}")
+    return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    # Registry aliases (e.g. SUMMA) are valid on the command line; runs are
+    # recorded under canonical names, so canonicalize before grouping.
+    args.algorithms = [resolve_algorithm(name) for name in args.algorithms]
     if args.regime == "strong":
         scenarios = strong_scaling_sweep(square_shape(96), args.processors, memory_words=8 * args.memory)
     elif args.regime == "limited":
@@ -186,13 +245,12 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
         ["sequential feasible schedule", near_optimal_sequential_io(m, n, k, s)],
         ["parallel lower bound / COSMA (Theorem 2)", lower_bound_parallel(m, n, k, p, s)],
     ]
-    for label, algorithm in (
-        ("2D (ScaLAPACK) cost", "ScaLAPACK"),
-        ("2.5D (CTF) cost", "CTF"),
-        ("recursive (CARMA) cost", "CARMA"),
-        ("COSMA cost", "COSMA"),
-    ):
-        rows.append([label, predict_mnk(algorithm, m, n, k, p, s).io_words_per_rank])
+    # One cost row per registered algorithm that has a Table 3 model.
+    for spec in algorithm_specs():
+        if spec.io_cost is None:
+            continue
+        label = spec.name + (f" ({', '.join(spec.aliases)})" if spec.aliases else "")
+        rows.append([f"{label} cost", predict_mnk(spec.name, m, n, k, p, s).io_words_per_rank])
     print(format_table(["quantity", "words per processor"], rows))
     return 0
 
@@ -204,7 +262,7 @@ _SWEEP_FLAG_DEFAULTS = {
     "regimes": ("limited",),
     "processors": (4, 16, 36, 64),
     "memory": 2048,
-    "algorithms": tuple(ALGORITHMS),
+    "algorithms": registered_algorithms(),
     "mode": "volume",
     "seed": 0,
 }
@@ -246,7 +304,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = tidy_rows(result.records)
     print(
         f"executed {result.executed}, cached {result.cached}, failed {result.failed} "
-        f"in {result.elapsed_s:.2f}s"
+        f"(pruned {result.pruned} as infeasible) in {result.elapsed_s:.2f}s"
     )
     if args.full_table:
         from repro.sweeps import campaign_table
@@ -293,6 +351,7 @@ def _cmd_sequential(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "multiply": _cmd_multiply,
+    "plan": _cmd_plan,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "bounds": _cmd_bounds,

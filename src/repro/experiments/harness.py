@@ -21,11 +21,7 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.baselines.cannon import cannon_multiply
-from repro.baselines.carma import carma_multiply
-from repro.baselines.grid25d import grid25d_multiply
-from repro.baselines.summa import summa_multiply
-from repro.core.cosma import cosma_multiply
+from repro.algorithms import ALGORITHMS, DEFAULT_ALGORITHMS, get_algorithm
 from repro.machine.simulator import DistributedMachine
 from repro.machine.transport import MODES, ShapeToken
 from repro.workloads.scaling import Scenario
@@ -96,46 +92,11 @@ class RunFailure:
 
 AlgorithmFn = Callable[[np.ndarray, np.ndarray, Scenario, DistributedMachine], np.ndarray]
 
-
-def _run_cosma(a, b, scenario, machine):
-    # The paper uses delta = 3% on thousands of ranks; at simulator scale a
-    # 3% allowance of e.g. 9 ranks cannot drop even one rank, so allow the
-    # grid optimizer to idle at least one (the trade-off it is designed to make).
-    delta = max(0.03, 1.5 / scenario.p) if scenario.p > 1 else 0.0
-    return cosma_multiply(
-        a, b, scenario.p, scenario.memory_words, machine=machine, max_idle_fraction=delta
-    ).matrix
-
-
-def _run_summa(a, b, scenario, machine):
-    return summa_multiply(a, b, scenario.p, machine=machine, memory_words=scenario.memory_words).matrix
-
-
-def _run_cannon(a, b, scenario, machine):
-    return cannon_multiply(a, b, scenario.p, machine=machine, memory_words=scenario.memory_words).matrix
-
-
-def _run_25d(a, b, scenario, machine):
-    return grid25d_multiply(a, b, scenario.p, scenario.memory_words, machine=machine).matrix
-
-
-def _run_carma(a, b, scenario, machine):
-    return carma_multiply(a, b, scenario.p, machine=machine, memory_words=scenario.memory_words).matrix
-
-
-#: Registry of algorithm names -> runner functions.  The names mirror the
-#: paper's comparison targets (our SUMMA stands in for ScaLAPACK, our 2.5D for
-#: CTF).
-ALGORITHMS: dict[str, AlgorithmFn] = {
-    "COSMA": _run_cosma,
-    "ScaLAPACK": _run_summa,
-    "CTF": _run_25d,
-    "CARMA": _run_carma,
-    "Cannon": _run_cannon,
-}
-
-#: The subset the paper's figures compare (Cannon is subsumed by ScaLAPACK/SUMMA).
-DEFAULT_ALGORITHMS = ("COSMA", "ScaLAPACK", "CTF", "CARMA")
+# ``ALGORITHMS`` and ``DEFAULT_ALGORITHMS`` are re-exported from
+# :mod:`repro.algorithms` for backward compatibility: the hard-coded closure
+# dict that used to live here became the registry's mapping view.  The COSMA
+# delta heuristic that was inlined here is now
+# :func:`repro.algorithms.cosma_idle_fraction`, shared with the API and CLI.
 
 
 def run_algorithm(
@@ -147,15 +108,18 @@ def run_algorithm(
 ) -> AlgorithmRun:
     """Run one algorithm on one scenario and collect its metrics.
 
+    ``name`` may be any registered algorithm name or alias
+    (:mod:`repro.algorithms`); the returned run carries the canonical name.
     ``mode`` selects the payload transport; in ``"volume"`` mode the inputs
     are shape tokens and numerical verification is skipped (counters only).
     Every run ends with a word-conservation assertion
     (:meth:`~repro.machine.counters.CommCounters.assert_conservation`).
     """
-    if name not in ALGORITHMS:
-        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    spec = get_algorithm(name)
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
+    if not spec.supports_mode(mode):
+        raise ValueError(f"{spec.name} does not support mode {mode!r}; supported: {spec.modes}")
     shape = scenario.shape
     if mode == "volume":
         a_matrix: np.ndarray | ShapeToken = ShapeToken((shape.m, shape.k))
@@ -163,7 +127,7 @@ def run_algorithm(
     else:
         a_matrix, b_matrix = shape.random_matrices(seed=seed)
     machine = DistributedMachine(scenario.p, memory_words=scenario.memory_words, mode=mode)
-    product = ALGORITHMS[name](a_matrix, b_matrix, scenario, machine)
+    product = spec.run(a_matrix, b_matrix, scenario, machine)
     verified = bool(verify) and mode != "volume"
     correct = True
     if verified:
@@ -172,7 +136,7 @@ def run_algorithm(
     counters = machine.counters
     per_rank = counters.per_rank
     return AlgorithmRun(
-        algorithm=name,
+        algorithm=spec.name,
         scenario=scenario,
         correct=correct,
         mode=mode,
@@ -204,8 +168,7 @@ def run_algorithm_safe(
     scenario -- infeasible memory, schedule errors, conservation violations --
     comes back as a structured record.
     """
-    if name not in ALGORITHMS:
-        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    name = get_algorithm(name).name  # raises UnknownAlgorithmError (a KeyError)
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
     try:

@@ -9,6 +9,18 @@ record to the store as soon as it lands.  Workers execute via
 :func:`repro.experiments.harness.run_algorithm_safe`, so an infeasible point
 becomes a ``"failed"`` record instead of aborting the campaign.
 
+Planning: before any worker starts, every pending request is planned through
+the algorithm registry (:meth:`repro.algorithms.AlgorithmSpec.plan`); points
+whose plan is infeasible -- aggregate memory below the ``p*S >= mn + mk +
+nk`` requirement of section 6.3 -- are stored as ``"failed"`` records with
+error type ``InfeasiblePlan`` *without executing them*.  Feasibility is an
+analytic statement about the parallel-schedule model: the simulator itself
+is lenient and would produce counters for such points, but those counters
+fall outside the theory the campaign compares against, so the runner refuses
+to spend workers on them (``prune=False`` restores the old
+execute-everything behaviour; ``KEY_VERSION`` was bumped with this change so
+pre-pruning stores cannot disagree with fresh runs).
+
 Determinism: records are reported in expansion order regardless of worker
 completion order, and every stored value is a pure function of the run's
 parameters -- a 2-job campaign aggregates byte-identically to a serial one.
@@ -21,7 +33,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.experiments.harness import AlgorithmRun, run_algorithm_safe
+from repro.algorithms import get_algorithm
+from repro.experiments.harness import AlgorithmRun, RunFailure, run_algorithm_safe
 from repro.sweeps.spec import RunRequest, SweepSpec, request_from_dict
 from repro.sweeps.store import (
     ResultStore,
@@ -47,6 +60,9 @@ class CampaignResult:
     #: Number of records (cached or fresh) whose status is ``"failed"``.
     failed: int
     elapsed_s: float
+    #: Number of runs the planner rejected as infeasible without executing
+    #: (their ``"failed"`` records carry error type ``InfeasiblePlan``).
+    pruned: int = 0
     store_path: str = ""
     _runs: list[AlgorithmRun] | None = field(default=None, repr=False)
 
@@ -84,12 +100,23 @@ def _execute_payload(payload: dict) -> dict:
     return execute_request(request_from_dict(payload))
 
 
+def plan_request(request: RunRequest):
+    """Plan one request through the registry (never raises; see run_campaign)."""
+    try:
+        return get_algorithm(request.algorithm).plan(request.scenario)
+    except Exception:  # noqa: BLE001 - a broken planner must not kill a campaign
+        # A planner bug must not prune real work; treat the point as feasible
+        # and let execution (which captures failures) decide.
+        return None
+
+
 def run_campaign(
     spec: SweepSpec | Sequence[RunRequest],
     store: ResultStore | str | None = None,
     jobs: int = 1,
     resume: bool = True,
     retry_failures: bool = False,
+    prune: bool = True,
     progress: Callable[[dict, bool], None] | None = None,
 ) -> CampaignResult:
     """Run every request of ``spec`` that the store cannot already answer.
@@ -114,6 +141,13 @@ def run_campaign(
         like successes by default.  Set true to re-execute stored failures
         (e.g. after an environment-induced crash such as ``MemoryError``)
         while still serving successful records from cache.
+    prune:
+        When true (default), requests whose registry plan is infeasible are
+        stored as ``"failed"`` records (error type ``InfeasiblePlan``)
+        without ever reaching a worker.  "Infeasible" is analytic -- the
+        point violates the parallel schedule's ``p*S >= mn + mk + nk``
+        precondition, not a crash prediction (the lenient simulator would
+        execute it); pass ``prune=False`` to execute such points anyway.
     progress:
         Optional callback invoked as ``progress(record, from_cache)`` after
         every request resolves, in expansion order for cached entries and in
@@ -150,6 +184,31 @@ def run_campaign(
             continue
         pending[key] = request
 
+    pruned = 0
+    if prune and pending:
+        executable: dict[str, RunRequest] = {}
+        for key, request in pending.items():
+            run_plan = plan_request(request)
+            if run_plan is None or run_plan.feasible:
+                executable[key] = request
+                continue
+            record = failure_to_record(
+                RunFailure(
+                    algorithm=request.algorithm,
+                    scenario=request.scenario,
+                    mode=request.mode,
+                    error_type="InfeasiblePlan",
+                    error_message=run_plan.reason,
+                ),
+                key,
+                seed=request.seed,
+            )
+            store.put(record)
+            pruned += 1
+            if progress is not None:
+                progress(record, False)
+        pending = executable
+
     if pending:
         if jobs == 1:
             for request in pending.values():
@@ -183,5 +242,6 @@ def run_campaign(
         cached=cached,
         failed=sum(1 for r in records if r.get("status") == "failed"),
         elapsed_s=time.perf_counter() - start,
+        pruned=pruned,
         store_path=str(store.path),
     )

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
-from repro.experiments.harness import ALGORITHMS, DEFAULT_ALGORITHMS
+from repro.algorithms import DEFAULT_ALGORITHMS, resolve_algorithm
 from repro.machine.transport import MODES
 from repro.sweeps.store import run_key, scenario_from_dict, scenario_to_dict
 from repro.workloads.scaling import (
@@ -90,9 +90,13 @@ class SweepSpec:
     points: tuple[Scenario, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
-        for algorithm in self.algorithms:
-            if algorithm not in ALGORITHMS:
-                raise KeyError(f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}")
+        # Canonicalize through the registry (raises UnknownAlgorithmError, a
+        # KeyError, for unknown names) so aliases like "SUMMA" produce the
+        # same run keys as their canonical name.
+        object.__setattr__(
+            self, "algorithms",
+            tuple(resolve_algorithm(a) for a in self.algorithms),
+        )
         for family in self.families:
             if family not in FAMILIES:
                 raise ValueError(f"unknown family {family!r}; known: {FAMILIES}")

@@ -24,7 +24,11 @@ from repro.workloads.shapes import ProblemShape
 #: Version of the key/record schema.  Bump to invalidate every cached result
 #: after a change that alters what the simulator measures for the same
 #: parameters (counters semantics, scenario derivation, ...).
-KEY_VERSION = 1
+#: v2: the campaign runner prunes analytically infeasible points (aggregate
+#: memory below the section 6.3 precondition) into ``InfeasiblePlan`` failure
+#: records instead of executing them, so pre-registry stores could disagree
+#: with fresh runs on those points.
+KEY_VERSION = 2
 
 #: Name of the append-only record file inside a store directory.
 RESULTS_FILENAME = "results.jsonl"

@@ -39,6 +39,70 @@ class TestCompareCommand:
         assert "ScaLAPACK" not in out
 
 
+class TestRegistryDrivenCli:
+    """The registry feeds every algorithm choice list (multiply/plan/compare/sweep)."""
+
+    def test_multiply_with_alternative_algorithm(self, capsys):
+        code = main(["multiply", "--m", "32", "--n", "32", "--k", "32",
+                     "--processors", "4", "--memory", "4096", "--algorithm", "CARMA"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm            : CARMA" in out
+        assert "verified against numpy: OK" in out
+
+    def test_multiply_accepts_alias_and_prints_canonical_name(self, capsys):
+        code = main(["multiply", "--m", "24", "--n", "24", "--k", "24",
+                     "--processors", "4", "--memory", "2048", "--algorithm", "SUMMA"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm            : ScaLAPACK" in out
+
+    def test_multiply_volume_mode_skips_verification(self, capsys):
+        code = main(["multiply", "--m", "64", "--n", "64", "--k", "64",
+                     "--processors", "16", "--memory", "2048", "--mode", "volume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SKIPPED" in out
+
+    def test_plan_reports_grid_without_executing(self, capsys):
+        code = main(["plan", "--m", "4096", "--n", "4096", "--k", "4096",
+                     "--processors", "1024", "--memory", "65536"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible             : yes" in out
+        assert "fitted grid" in out
+        assert "predicted words/rank" in out
+
+    def test_plan_flags_infeasible_points(self, capsys):
+        code = main(["plan", "--m", "512", "--n", "512", "--k", "512",
+                     "--processors", "2", "--memory", "64"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "feasible             : no" in out
+        assert "footprint" in out
+
+    def test_compare_rejects_unknown_algorithm(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compare", "--processors", "4", "--algorithms", "MAGMA"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'MAGMA'" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_algorithm(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--processors", "4", "--algorithms", "MAGMA",
+                  "--out", str(tmp_path / "store")])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'MAGMA'" in capsys.readouterr().err
+
+    def test_compare_accepts_alias(self, capsys):
+        code = main(["compare", "--family", "square", "--regime", "limited",
+                     "--processors", "4", "--memory", "1024",
+                     "--algorithms", "COSMA", "SUMMA"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ScaLAPACK words/rank" in out
+
+
 class TestSweepCommand:
     def test_small_campaign_and_cached_rerun(self, capsys, tmp_path):
         argv = [

@@ -7,7 +7,6 @@ per-rank :class:`~repro.machine.counters.RankCounters` under legacy, zerocopy
 and volume transports on every scenario.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.harness import ALGORITHMS, run_algorithm

@@ -1,6 +1,5 @@
 """Cross-module integration tests: the paper's headline claims at laptop scale."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.costs import io_cost_25d, io_cost_2d, io_cost_carma, io_cost_cosma
