@@ -5,11 +5,13 @@
 #   make sweep-smoke  - tiny 4-point sweep campaign through the engine (--jobs 2)
 #   make bench        - full paper figure/table benchmark suite
 #   make bench-sweep  - sweep-engine timing benchmark (writes BENCH_sweep.json)
+#   make bench-smoke  - paper-scale regression gate + reduced-scale fast-path
+#                       benchmark (what CI's bench-smoke job runs)
 
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint sweep-smoke bench bench-sweep
+.PHONY: verify lint sweep-smoke bench bench-sweep bench-smoke
 
 verify:
 	$(PY) -m pytest -x -q
@@ -29,4 +31,9 @@ bench:
 	$(PY) -m pytest benchmarks/bench_*.py -s
 
 bench-sweep:
+	$(PY) -m pytest benchmarks/bench_sweep_engine.py -s
+
+bench-smoke:
+	$(PY) benchmarks/check_bench_regression.py --baseline BENCH_simulator.json
+	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks/bench_simulator_fastpath.py -s
 	$(PY) -m pytest benchmarks/bench_sweep_engine.py -s

@@ -7,9 +7,15 @@ fast-path refactor exists for:
 * ``zerocopy`` must beat ``legacy`` (no O(q) copies per collective);
 * ``volume`` must beat ``legacy`` by >= 10x on the shared sweep;
 * all three modes must produce identical communication counters;
-* ``volume`` mode must complete a paper-scale COSMA run (p = 1024,
-  m = n = k = 4096, limited-memory regime) that is infeasible with
-  physically copied numpy payloads.
+* the paper-scale COSMA point (p = 1024, m = n = k = 4096, limited-memory
+  regime) must run under the batched counter engine with steady-state round
+  compression (``compress_rounds=True``) at >= 5x the speed of the engine
+  that preceded it, with counters byte-identical to the pinned baseline.
+
+Reduced scale: set ``REPRO_BENCH_SMOKE=1`` to shrink every scenario (CI's
+``bench-smoke`` job); the mode-parity and compression-parity assertions still
+run, the absolute-speed assertions against the committed baseline are skipped
+because they are only meaningful at paper scale.
 
 Results are written to ``BENCH_simulator.json`` in the repository root::
 
@@ -21,6 +27,7 @@ Results are written to ``BENCH_simulator.json`` in the repository root::
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -31,18 +38,49 @@ from repro.machine.transport import MODES
 from repro.workloads.scaling import Scenario, strong_scaling_sweep
 from repro.workloads.shapes import square_shape
 
-#: The shared sweep every mode is timed on: COSMA, square 768^3, p = 16 / 64.
-SHARED_SWEEP = tuple(strong_scaling_sweep(square_shape(768), (16, 64)))
+#: Reduced-scale switch for CI smoke runs.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: The shared sweep every mode is timed on: COSMA, square 768^3, p = 16 / 64
+#: (384^3, p = 4 / 16 at smoke scale).
+SHARED_SWEEP = tuple(
+    strong_scaling_sweep(square_shape(384), (4, 16))
+    if SMOKE
+    else strong_scaling_sweep(square_shape(768), (16, 64))
+)
 
 #: The paper-scale point only volume mode can reach (limited-memory regime:
 #: aggregate memory ~= 2x the input footprint, as in section 8).
-PAPER_SCALE = Scenario(
-    name="square-paper-p1024",
-    shape=square_shape(4096),
-    p=1024,
-    memory_words=101_000,
-    regime="limited",
+PAPER_SCALE = (
+    Scenario(
+        name="square-smoke-p256",
+        shape=square_shape(2048),
+        p=256,
+        memory_words=101_000,
+        regime="limited",
+    )
+    if SMOKE
+    else Scenario(
+        name="square-paper-p1024",
+        shape=square_shape(4096),
+        p=1024,
+        memory_words=101_000,
+        regime="limited",
+    )
 )
+
+#: Paper-scale volume-mode seconds of the pre-batched engine (PR 1's
+#: ``BENCH_simulator.json``): one Python-level round at a time, 2535 rounds.
+#: The batched counter engine + round compression must beat it by >= 5x.
+PRE_BATCHING_BASELINE_S = 15.51
+
+#: Counter values the paper-scale point is pinned to (any engine change that
+#: alters them is a correctness bug, not a performance trade-off).
+PAPER_SCALE_COUNTERS = {
+    "mean_megabytes_per_rank": 7.602,
+    "rounds": 2535,
+    "total_flops": 137522839552,
+}
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
@@ -76,14 +114,23 @@ def run_fastpath_benchmark() -> dict:
         seconds[mode], runs = _time_mode(mode)
         signatures[mode] = _counter_signature(runs)
 
+    # Steady-state round compression on the shared volume sweep must leave
+    # every counter untouched.
+    compressed_runs = [
+        run_algorithm("COSMA", scenario, mode="volume", verify=False, compress_rounds=True)
+        for scenario in SHARED_SWEEP
+    ]
+    compression_parity = _counter_signature(compressed_runs) == signatures["volume"]
+
     start = time.perf_counter()
-    paper_run = run_algorithm("COSMA", PAPER_SCALE, mode="volume")
+    paper_run = run_algorithm("COSMA", PAPER_SCALE, mode="volume", compress_rounds=True)
     paper_seconds = time.perf_counter() - start
 
     report = {
+        "smoke_scale": SMOKE,
         "shared_sweep": {
             "algorithm": "COSMA",
-            "shape": "square m=n=k=768",
+            "shape": f"square m=n=k={SHARED_SWEEP[0].shape.m}",
             "p_values": [scenario.p for scenario in SHARED_SWEEP],
             "seconds": {mode: round(seconds[mode], 4) for mode in MODES},
             "speedup_vs_legacy": {
@@ -92,13 +139,21 @@ def run_fastpath_benchmark() -> dict:
             "counters_identical": all(
                 signatures[mode] == signatures["legacy"] for mode in MODES
             ),
+            "compression_counters_identical": compression_parity,
         },
         "paper_scale_volume_mode": {
             "scenario": PAPER_SCALE.name,
             "p": PAPER_SCALE.p,
-            "shape": "square m=n=k=4096",
+            "shape": f"square m=n=k={PAPER_SCALE.shape.m}",
             "memory_words": PAPER_SCALE.memory_words,
+            "compress_rounds": True,
             "seconds": round(paper_seconds, 2),
+            "pre_batching_baseline_seconds": PRE_BATCHING_BASELINE_S,
+            "speedup_vs_pre_batching": (
+                round(PRE_BATCHING_BASELINE_S / paper_seconds, 1)
+                if not SMOKE and paper_seconds > 0
+                else None
+            ),
             "mean_megabytes_per_rank": round(paper_run.mean_megabytes_per_rank, 3),
             "rounds": paper_run.rounds,
             "total_flops": paper_run.total_flops,
@@ -122,12 +177,24 @@ def test_simulator_fastpath():
             for mode in MODES
         ],
     )
-    print_rows("Paper-scale volume-mode run", [report["paper_scale_volume_mode"]])
+    print_rows("Paper-scale volume-mode run (compress_rounds=True)",
+               [report["paper_scale_volume_mode"]])
     assert shared["counters_identical"], "modes disagree on communication counters"
+    assert shared["compression_counters_identical"], "round compression changed counters"
     assert shared["speedup_vs_legacy"]["zerocopy"] > 1.0
     assert shared["speedup_vs_legacy"]["volume"] >= 10.0
+    paper = report["paper_scale_volume_mode"]
     # The paper-scale point must actually complete and move data.
-    assert report["paper_scale_volume_mode"]["total_flops"] >= 2 * 4096**3
+    assert paper["total_flops"] >= 2 * PAPER_SCALE.shape.m ** 3
+    if not SMOKE:
+        # Byte-identity against the pinned pre-batching counters ...
+        for field, expected in PAPER_SCALE_COUNTERS.items():
+            assert paper[field] == expected, f"{field}: {paper[field]} != pinned {expected}"
+        # ... and the tentpole target: >= 5x over the pre-batching engine.
+        assert paper["seconds"] * 5.0 <= PRE_BATCHING_BASELINE_S, (
+            f"paper-scale run took {paper['seconds']}s; "
+            f"needs >= 5x over the {PRE_BATCHING_BASELINE_S}s baseline"
+        )
 
 
 if __name__ == "__main__":

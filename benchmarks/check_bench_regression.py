@@ -1,0 +1,106 @@
+"""CI regression gate for the paper-scale volume-mode run.
+
+Re-executes the COSMA paper-scale point (p = 1024, m = n = k = 4096,
+limited-memory regime, ``compress_rounds=True``) and compares it against the
+``paper_scale_volume_mode`` entry of a committed ``BENCH_simulator.json``:
+
+* the counters must match the baseline **exactly** (MB/rank, rounds, flops)
+  -- a mismatch is a correctness regression in the counter engine;
+* the wall time must not regress by more than ``--max-regression`` (default
+  25%) over the baseline seconds, with a small absolute noise floor so that
+  sub-second baselines cannot flake on loaded CI machines.
+
+Run it *before* any benchmark overwrites ``BENCH_simulator.json``::
+
+    python benchmarks/check_bench_regression.py --baseline BENCH_simulator.json
+
+Exit code 0 on success, 1 on a counter mismatch or a timing regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: Absolute slack added on top of the relative allowance: CI boxes are noisy
+#: and the compressed paper-scale run is sub-second, where a pure percentage
+#: gate would flake.
+NOISE_FLOOR_S = 0.75
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="BENCH_simulator.json",
+        help="committed benchmark report to gate against",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="largest tolerated fractional slowdown vs the baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(Path(args.baseline).read_text())
+    if report.get("smoke_scale"):
+        # A smoke-scale file gates a tiny p=256 point against itself; only a
+        # paper-scale baseline (what the repo commits) is a meaningful gate.
+        print(
+            f"FAIL: {args.baseline} was written at smoke scale "
+            "(REPRO_BENCH_SMOKE=1); regenerate it at full scale before gating",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = report["paper_scale_volume_mode"]
+
+    from repro.experiments.harness import run_algorithm
+    from repro.workloads.scaling import Scenario
+    from repro.workloads.shapes import square_shape
+
+    side = int(baseline["shape"].rsplit("=", 1)[-1])
+    scenario = Scenario(
+        name=baseline["scenario"],
+        shape=square_shape(side),
+        p=int(baseline["p"]),
+        memory_words=int(baseline["memory_words"]),
+        regime="limited",
+    )
+    start = time.perf_counter()
+    run = run_algorithm(
+        "COSMA", scenario, mode="volume",
+        compress_rounds=bool(baseline.get("compress_rounds", False)),
+    )
+    seconds = time.perf_counter() - start
+
+    failures = []
+    measured = {
+        "mean_megabytes_per_rank": round(run.mean_megabytes_per_rank, 3),
+        "rounds": run.rounds,
+        "total_flops": run.total_flops,
+    }
+    for field, value in measured.items():
+        if value != baseline[field]:
+            failures.append(f"counter mismatch: {field} = {value}, baseline {baseline[field]}")
+
+    allowed = baseline["seconds"] * (1.0 + args.max_regression) + NOISE_FLOOR_S
+    print(
+        f"paper-scale volume run: {seconds:.2f}s "
+        f"(baseline {baseline['seconds']}s, allowed {allowed:.2f}s)"
+    )
+    if seconds > allowed:
+        failures.append(
+            f"timing regression: {seconds:.2f}s > {allowed:.2f}s "
+            f"(baseline {baseline['seconds']}s + {args.max_regression:.0%} + {NOISE_FLOOR_S}s floor)"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: counters identical, timing within the allowance")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.algorithms.registry import (
     default_algorithms,
     get_algorithm,
     is_registered,
+    plan_cache_clear,
     register,
     register_algorithm,
     registered_algorithms,
@@ -50,6 +51,7 @@ __all__ = [
     "default_algorithms",
     "get_algorithm",
     "is_registered",
+    "plan_cache_clear",
     "register",
     "register_algorithm",
     "registered_algorithms",

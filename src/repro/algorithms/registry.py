@@ -27,6 +27,7 @@ engine (spec validation and infeasible-point pruning).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as _dc_replace
+from functools import lru_cache
 from typing import TYPE_CHECKING, Callable, Iterator, MutableMapping
 
 import numpy as np
@@ -144,7 +145,30 @@ class AlgorithmSpec:
         return mode in self.modes
 
     def plan(self, scenario: "Scenario", **options) -> Plan:
-        """Plan the scenario without executing it (see :class:`Plan`)."""
+        """Plan the scenario without executing it (see :class:`Plan`).
+
+        Results are memoized per ``(algorithm, scenario, options)`` in a
+        process-wide LRU (:func:`plan_cache_clear` resets it; registering or
+        unregistering an algorithm does so automatically), so repeated
+        planning of the same point -- sweep pruning, ``api.multiply``'s
+        plan-then-execute, cost aggregation -- fits the grid exactly once.
+        Scenarios and plans are immutable, making the cached object safe to
+        share.
+        """
+        if _REGISTRY.get(self.name) is not self:
+            # A spec that is not (or no longer) the registered one -- built
+            # standalone, unregistered, or superseded by replace=True -- must
+            # plan with *its own* planner, not whatever the registry now
+            # holds under its name.
+            return self._plan_uncached(scenario, **options)
+        try:
+            return _cached_plan(self.name, scenario, tuple(sorted(options.items())))
+        except TypeError:
+            # Unhashable option values (e.g. a list-valued grid override)
+            # bypass the cache.
+            return self._plan_uncached(scenario, **options)
+
+    def _plan_uncached(self, scenario: "Scenario", **options) -> Plan:
         reason = self._infeasibility(scenario)
         shape = scenario.shape
         bound = 0.0
@@ -208,6 +232,17 @@ _REGISTRY: dict[str, AlgorithmSpec] = {}
 _LOOKUP: dict[str, str] = {}
 
 
+@lru_cache(maxsize=4096)
+def _cached_plan(name: str, scenario: "Scenario", options_key: tuple) -> Plan:
+    """Shared plan memoization, keyed on the scenario tuple (frozen dataclass)."""
+    return _REGISTRY[name]._plan_uncached(scenario, **dict(options_key))
+
+
+def plan_cache_clear() -> None:
+    """Drop every memoized plan (called on register/unregister)."""
+    _cached_plan.cache_clear()
+
+
 def register(spec: AlgorithmSpec, replace: bool = False) -> AlgorithmSpec:
     """Add ``spec`` to the registry (and its cost model to ``costs.predict``).
 
@@ -235,6 +270,7 @@ def register(spec: AlgorithmSpec, replace: bool = False) -> AlgorithmSpec:
         _costs.register_cost_model(
             spec.name, spec.io_cost, spec.latency_cost, aliases=spec.aliases
         )
+    plan_cache_clear()
     return spec
 
 
@@ -283,6 +319,7 @@ def unregister(name: str) -> None:
         _LOOKUP.pop(label.lower(), None)
     if spec.io_cost is not None:
         _costs.unregister_cost_model(spec.name, aliases=spec.aliases)
+    plan_cache_clear()
 
 
 def resolve_algorithm(name: str) -> str:

@@ -122,6 +122,7 @@ def multiply(
     *,
     algorithm: str = "COSMA",
     mode: str = "legacy",
+    compress_rounds: bool = False,
 ) -> RunReport:
     """Multiply ``A @ B`` with any registered algorithm on a simulated machine.
 
@@ -145,6 +146,11 @@ def multiply(
         Payload transport: ``"legacy"`` / ``"zerocopy"`` run and verify real
         numerics; ``"volume"`` counts communication only (``matrix`` is
         ``None``) and scales to paper-size grids.
+    compress_rounds:
+        Opt into steady-state round compression: structurally identical
+        communication rounds replay a cached counter delta instead of
+        re-executing the schedule.  Only effective in ``"volume"`` mode;
+        counters are byte-identical either way.
 
     Examples
     --------
@@ -183,7 +189,9 @@ def multiply(
         # fitting search is not run twice per multiply.
         options["grid"] = run_plan.grid
 
-    machine = DistributedMachine(processors, memory_words=memory_words, mode=mode)
+    machine = DistributedMachine(
+        processors, memory_words=memory_words, mode=mode, compress_rounds=compress_rounds
+    )
     if mode == "volume":
         a_in: np.ndarray | ShapeToken = ShapeToken((m, k))
         b_in: np.ndarray | ShapeToken = ShapeToken((k, n))

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.cuboid import CuboidDomain, CuboidRunResult, cuboid_multiply
+from repro.machine.counters import CommCounters
 from repro.machine.simulator import DistributedMachine
 from repro.machine.transport import as_payload
 from repro.utils.validation import check_positive_int
@@ -92,7 +93,7 @@ class CarmaRunResult:
 
     matrix: np.ndarray
     p_used: int
-    counters: object
+    counters: CommCounters
 
     @property
     def mean_words_per_rank(self) -> float:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import TYPE_CHECKING
 
 from repro.core.cost_model import cosma_io_cost, cosma_latency_cost
@@ -169,6 +170,7 @@ def register_cost_model(algorithm: str, io_fn, latency_fn=None, aliases=()) -> N
     _COST_MODELS[algorithm] = (io_fn, latency_fn)
     for alias in aliases:
         _COST_MODELS[alias] = _COST_MODELS[algorithm]
+    predict_mnk.cache_clear()
 
 
 def unregister_cost_model(algorithm: str, aliases=()) -> None:
@@ -181,10 +183,18 @@ def unregister_cost_model(algorithm: str, aliases=()) -> None:
     _COST_MODELS.pop(algorithm, None)
     for alias in aliases:
         _COST_MODELS.pop(alias, None)
+    predict_mnk.cache_clear()
 
 
+@lru_cache(maxsize=8192)
 def predict_mnk(algorithm: str, m: int, n: int, k: int, p: int, s: int) -> CostPrediction:
-    """Predict the Table 3 costs of ``algorithm`` on an explicit problem."""
+    """Predict the Table 3 costs of ``algorithm`` on an explicit problem.
+
+    Memoized per parameter tuple (the prediction is a frozen value object);
+    sweep aggregation calls this once per tidy row, so repeated campaigns
+    over the same grid stop re-evaluating the same formulas.  The cache is
+    cleared whenever a cost model is (un)registered.
+    """
     if algorithm not in _COST_MODELS:
         raise KeyError(f"no cost model for {algorithm!r}; known: {sorted(_COST_MODELS)}")
     io_fn, latency_fn = _COST_MODELS[algorithm]

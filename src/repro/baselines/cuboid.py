@@ -114,10 +114,20 @@ def _fetch_block(
     """Assemble the dense ``rows x cols`` block of ``source`` on ``receiver``.
 
     Parts owned by other ranks are transferred (one message per owner) and
-    counted; parts owned by the receiver are free.
+    counted; parts owned by the receiver are free.  In counters-only mode the
+    per-owner element counts are derived in one vectorized pass and posted as
+    a single batched update -- no per-owner masks are materialized.
     """
-    block = machine.zeros((rows[1] - rows[0], cols[1] - cols[0]))
     local_owners = owners[rows[0] : rows[1], cols[0] : cols[1]]
+    if machine.transport.counters_only:
+        unique, counts = np.unique(local_owners, return_counts=True)
+        foreign = unique != receiver
+        machine.post_transfers(
+            unique[foreign], np.full(int(foreign.sum()), receiver),
+            counts[foreign], kind=kind,
+        )
+        return machine.zeros((rows[1] - rows[0], cols[1] - cols[0]))
+    block = machine.zeros((rows[1] - rows[0], cols[1] - cols[0]))
     local_values = source[rows[0] : rows[1], cols[0] : cols[1]]
     for owner in np.unique(local_owners):
         mask = local_owners == owner
@@ -192,6 +202,17 @@ def cuboid_multiply(
         j0, j1 = domain.j_range
         block = partial_c[domain.rank]
         local_owners = c_owners[i0:i1, j0:j1]
+        if machine.transport.counters_only:
+            # Token payloads carry no values: post the per-owner element
+            # counts (transfer + accumulation flops) in one batched update.
+            unique, counts = np.unique(local_owners, return_counts=True)
+            foreign = unique != domain.rank
+            machine.post_transfers(
+                np.full(int(foreign.sum()), domain.rank), unique[foreign],
+                counts[foreign], kind="output",
+            )
+            machine.counters.add_flops(unique[foreign], counts[foreign])
+            continue
         for owner in np.unique(local_owners):
             mask = local_owners == owner
             values = block[mask]

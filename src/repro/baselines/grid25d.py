@@ -23,7 +23,7 @@ import numpy as np
 from repro.machine.collectives import reduce
 from repro.machine.counters import CommCounters
 from repro.machine.simulator import DistributedMachine
-from repro.machine.transport import as_payload, ascontiguous, concat_payloads
+from repro.machine.transport import as_payload, ascontiguous, concat_payloads, payload_words
 from repro.utils.intmath import divisors, split_offsets
 from repro.utils.validation import check_positive_int
 
@@ -158,25 +158,36 @@ def grid25d_multiply(
                 r = rank_of(i, j, layer)
                 i0, i1 = i_ranges[i]
                 j0, j1 = j_ranges[j]
-                # Gather the A panel A[i-block, layer k-slice] from the process row.
-                a_parts: list[np.ndarray] = []
-                for jj in range(qn):
-                    owner = rank_of(i, jj, layer)
-                    piece = local_a[owner]
-                    if owner == r:
-                        a_parts.append(piece)
-                    else:
-                        a_parts.append(machine.send(owner, r, piece, kind="input"))
+                a_owners = [rank_of(i, jj, layer) for jj in range(qn)]
+                b_owners = [rank_of(ii, j, layer) for ii in range(qm)]
+                if machine.transport.counters_only:
+                    # Counters-only payloads: account the whole row+column
+                    # gather as one batched update per panel.
+                    srcs = [o for o in a_owners if o != r]
+                    machine.post_transfers(
+                        srcs, [r] * len(srcs),
+                        [payload_words(local_a[o]) for o in srcs], kind="input",
+                    )
+                    srcs = [o for o in b_owners if o != r]
+                    machine.post_transfers(
+                        srcs, [r] * len(srcs),
+                        [payload_words(local_b[o]) for o in srcs], kind="input",
+                    )
+                    a_parts = [local_a[o] for o in a_owners]
+                    b_parts = [local_b[o] for o in b_owners]
+                else:
+                    # Gather the A panel A[i-block, layer k-slice] from the
+                    # process row and the B panel B[layer k-slice, j-block]
+                    # from the process column.
+                    a_parts = [
+                        local_a[o] if o == r else machine.send(o, r, local_a[o], kind="input")
+                        for o in a_owners
+                    ]
+                    b_parts = [
+                        local_b[o] if o == r else machine.send(o, r, local_b[o], kind="input")
+                        for o in b_owners
+                    ]
                 a_panel = concat_payloads(a_parts, axis=1)
-                # Gather the B panel B[layer k-slice, j-block] from the process column.
-                b_parts: list[np.ndarray] = []
-                for ii in range(qm):
-                    owner = rank_of(ii, j, layer)
-                    piece = local_b[owner]
-                    if owner == r:
-                        b_parts.append(piece)
-                    else:
-                        b_parts.append(machine.send(owner, r, piece, kind="input"))
                 b_panel = concat_payloads(b_parts, axis=0)
                 machine.local_multiply(r, a_panel, b_panel, accumulate_into=local_c[r])
         machine.check_memory()

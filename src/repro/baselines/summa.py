@@ -136,9 +136,28 @@ def summa_multiply(
             machine.rank(r).put("B", local_b[r])
             machine.rank(r).put("C", local_c[r])
 
-    # Panel loop over k.
+    # Panel loop over k.  A panel step's schedule is determined by which
+    # owners contribute how many k-columns to the A/B panels; consecutive
+    # panels inside the same ownership slices repeat that pattern exactly,
+    # so under round compression the steady state replays from cache.
     for panel_start in range(0, k, panel_width):
         panel_stop = min(panel_start + panel_width, k)
+        if machine.compressor is not None:
+            fingerprint = (
+                "summa", m, n, k, pm, pn, panel_width,
+                tuple(
+                    (j, min(ak1, panel_stop) - max(ak0, panel_start))
+                    for j, (ak0, ak1) in enumerate(k_col_slices)
+                    if min(ak1, panel_stop) > max(ak0, panel_start)
+                ),
+                tuple(
+                    (i, min(bk1, panel_stop) - max(bk0, panel_start))
+                    for i, (bk0, bk1) in enumerate(k_row_slices)
+                    if min(bk1, panel_stop) > max(bk0, panel_start)
+                ),
+            )
+            if machine.replay_round(fingerprint) is not None:
+                continue
 
         # Broadcast this panel's A pieces along every process row.
         a_panel_by_row: list[np.ndarray] = []
@@ -185,6 +204,7 @@ def summa_multiply(
                 if a_panel.shape[1] and b_panel.shape[0]:
                     machine.local_multiply(r, a_panel, b_panel, accumulate_into=local_c[r])
         machine.check_memory()
+        machine.commit_round()
 
     # Assemble the result for verification (a shape token in volume mode).
     c_global = machine.zeros((m, n))

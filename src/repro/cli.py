@@ -73,6 +73,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mode", choices=list(MODES), default="legacy",
         help="payload transport; 'volume' counts communication only (no numerics)",
     )
+    p_mult.add_argument(
+        "--compress-rounds", action="store_true",
+        help=(
+            "replay cached counter deltas for structurally identical rounds "
+            "(volume mode only; counters are byte-identical, runs much faster)"
+        ),
+    )
 
     p_plan = sub.add_parser("plan", help="plan a run (grid / rounds / predicted words) without executing it")
     p_plan.add_argument("--m", type=int, required=True)
@@ -134,6 +141,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-execute cached 'failed' records (successes still come from cache)",
     )
     p_sweep.add_argument(
+        "--compress-rounds", action="store_true",
+        help=(
+            "execute runs with steady-state round compression (volume mode "
+            "only); a pure speed knob -- records and cache keys are identical"
+        ),
+    )
+    p_sweep.add_argument(
         "--spec", default=None, metavar="SPEC.json",
         help=(
             "load the whole campaign (grid, algorithms, mode, seed) from a "
@@ -171,6 +185,7 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
     result = multiply(
         a, b, processors=args.processors, memory_words=args.memory,
         algorithm=args.algorithm, mode=args.mode,
+        compress_rounds=args.compress_rounds,
     )
     print(f"problem              : C({args.m}x{args.n}) = A({args.m}x{args.k}) B({args.k}x{args.n})")
     print(f"algorithm            : {result.algorithm}")
@@ -299,7 +314,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     result = run_campaign(
         spec, store=args.out, jobs=args.jobs, resume=args.resume,
-        retry_failures=args.retry_failures,
+        retry_failures=args.retry_failures, compress_rounds=args.compress_rounds,
     )
     rows = tidy_rows(result.records)
     print(

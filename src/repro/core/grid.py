@@ -145,30 +145,34 @@ def fit_ranks(
     p = check_positive_int(p, "p")
     max_idle_fraction = check_probability(max_idle_fraction, "max_idle_fraction")
 
-    min_p_used = max(1, int(math.ceil(p * (1.0 - max_idle_fraction))))
-    best: GridFit | None = None
-    for p_used in range(p, min_p_used - 1, -1):
+    def best_fit_at(p_used: int, incumbent: GridFit | None) -> GridFit | None:
         for grid in candidate_grids(p_used, m, n, k):
-            comm = communication_volume_per_rank(grid, m, n, k, memory_words=memory_words)
-            comp = computation_per_rank(grid, m, n, k)
             fit = GridFit(
                 grid=grid,
                 p_available=p,
-                communication_per_rank=comm,
-                computation_per_rank=comp,
+                communication_per_rank=communication_volume_per_rank(
+                    grid, m, n, k, memory_words=memory_words
+                ),
+                computation_per_rank=computation_per_rank(grid, m, n, k),
             )
-            if best is None or _better(fit, best):
-                best = fit
+            if incumbent is None or _better(fit, incumbent):
+                incumbent = fit
+        return incumbent
+
+    min_p_used = max(1, int(math.ceil(p * (1.0 - max_idle_fraction))))
+    best: GridFit | None = None
+    for p_used in range(p, min_p_used - 1, -1):
+        best = best_fit_at(p_used, best)
     if best is None:
-        # Every candidate grid was rejected (e.g. p larger than every matrix
-        # extent); fall back to a single rank, which is always feasible.
-        grid = ProcessorGrid(1, 1, 1)
-        best = GridFit(
-            grid=grid,
-            p_available=p,
-            communication_per_rank=communication_volume_per_rank(grid, m, n, k),
-            computation_per_rank=computation_per_rank(grid, m, n, k),
-        )
+        # Every candidate grid inside the delta window was rejected (e.g.
+        # every factorization of p has an extent exceeding a matrix
+        # dimension).  Widen the search downward and use the largest feasible
+        # processor count instead of collapsing to a single rank; the 1x1x1
+        # grid remains the ultimate fallback because it is always feasible.
+        for p_used in range(min_p_used - 1, 0, -1):
+            best = best_fit_at(p_used, best)
+            if best is not None:
+                break
     return best
 
 

@@ -105,6 +105,7 @@ def run_algorithm(
     seed: int = 0,
     verify: bool = True,
     mode: str = "legacy",
+    compress_rounds: bool = False,
 ) -> AlgorithmRun:
     """Run one algorithm on one scenario and collect its metrics.
 
@@ -112,7 +113,10 @@ def run_algorithm(
     (:mod:`repro.algorithms`); the returned run carries the canonical name.
     ``mode`` selects the payload transport; in ``"volume"`` mode the inputs
     are shape tokens and numerical verification is skipped (counters only).
-    Every run ends with a word-conservation assertion
+    ``compress_rounds`` opts into steady-state round compression (effective
+    in volume mode only; counters are byte-identical either way, see
+    :class:`~repro.machine.counters.RoundCompressor`).  Every run ends with a
+    word-conservation assertion
     (:meth:`~repro.machine.counters.CommCounters.assert_conservation`).
     """
     spec = get_algorithm(name)
@@ -126,7 +130,10 @@ def run_algorithm(
         b_matrix: np.ndarray | ShapeToken = ShapeToken((shape.k, shape.n))
     else:
         a_matrix, b_matrix = shape.random_matrices(seed=seed)
-    machine = DistributedMachine(scenario.p, memory_words=scenario.memory_words, mode=mode)
+    machine = DistributedMachine(
+        scenario.p, memory_words=scenario.memory_words, mode=mode,
+        compress_rounds=compress_rounds,
+    )
     product = spec.run(a_matrix, b_matrix, scenario, machine)
     verified = bool(verify) and mode != "volume"
     correct = True
@@ -134,7 +141,6 @@ def run_algorithm(
         correct = bool(np.allclose(product, a_matrix @ b_matrix, atol=1e-8 * shape.k))
     machine.counters.assert_conservation()
     counters = machine.counters
-    per_rank = counters.per_rank
     return AlgorithmRun(
         algorithm=spec.name,
         scenario=scenario,
@@ -144,13 +150,13 @@ def run_algorithm(
         mean_words_per_rank=counters.mean_words_per_rank(),
         mean_received_per_rank=counters.mean_received_per_rank(),
         max_words_per_rank=counters.max_words_per_rank(),
-        max_received_per_rank=max((r.words_received for r in per_rank), default=0),
-        max_flops_per_rank=max((r.flops for r in per_rank), default=0),
+        max_received_per_rank=counters.max_received_per_rank(),
+        max_flops_per_rank=counters.max_flops_per_rank(),
         total_flops=counters.total_flops,
         rounds=counters.max_rounds(),
-        input_words_per_rank=sum(r.input_words for r in per_rank) / max(1, len(per_rank)),
-        output_words_per_rank=sum(r.output_words for r in per_rank) / max(1, len(per_rank)),
-        max_messages_per_rank=max((r.total_messages for r in per_rank), default=0),
+        input_words_per_rank=counters.mean_input_words_per_rank(),
+        output_words_per_rank=counters.mean_output_words_per_rank(),
+        max_messages_per_rank=counters.max_messages_per_rank(),
     )
 
 
@@ -160,6 +166,7 @@ def run_algorithm_safe(
     seed: int = 0,
     verify: bool = True,
     mode: str = "legacy",
+    compress_rounds: bool = False,
 ) -> AlgorithmRun | RunFailure:
     """Like :func:`run_algorithm` but captures failures as :class:`RunFailure`.
 
@@ -172,7 +179,10 @@ def run_algorithm_safe(
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
     try:
-        return run_algorithm(name, scenario, seed=seed, verify=verify, mode=mode)
+        return run_algorithm(
+            name, scenario, seed=seed, verify=verify, mode=mode,
+            compress_rounds=compress_rounds,
+        )
     except Exception as exc:  # noqa: BLE001 - the point is to capture anything
         return RunFailure(
             algorithm=name,
@@ -189,10 +199,14 @@ def run_scenario(
     seed: int = 0,
     verify: bool = True,
     mode: str = "legacy",
+    compress_rounds: bool = False,
 ) -> dict[str, AlgorithmRun]:
     """Run several algorithms on the same scenario (same input matrices)."""
     return {
-        name: run_algorithm(name, scenario, seed=seed, verify=verify, mode=mode)
+        name: run_algorithm(
+            name, scenario, seed=seed, verify=verify, mode=mode,
+            compress_rounds=compress_rounds,
+        )
         for name in algorithms
     }
 
@@ -204,6 +218,7 @@ def sweep(
     verify: bool = True,
     mode: str = "legacy",
     on_error: str = "raise",
+    compress_rounds: bool = False,
 ) -> list[AlgorithmRun | RunFailure]:
     """Run the full cross product of scenarios and algorithms.
 
@@ -218,7 +233,12 @@ def sweep(
     runs: list[AlgorithmRun | RunFailure] = []
     for scenario in scenarios:
         for name in algorithms:
-            runs.append(runner(name, scenario, seed=seed, verify=verify, mode=mode))
+            runs.append(
+                runner(
+                    name, scenario, seed=seed, verify=verify, mode=mode,
+                    compress_rounds=compress_rounds,
+                )
+            )
     return runs
 
 

@@ -11,7 +11,15 @@ The paper's experiments measure two kinds of data movement:
   mpiP profiler used in the paper.
 """
 
-from repro.machine.counters import CommCounters, ConservationError, RankCounters
+from repro.machine.counters import (
+    COUNTER_FIELDS,
+    CommCounters,
+    ConservationError,
+    CounterMatrix,
+    RankCounters,
+    RoundCompressor,
+    RoundDelta,
+)
 from repro.machine.memory import AccessStats, LRUCacheMemory, MemoryHierarchy
 from repro.machine.simulator import DistributedMachine, Rank
 from repro.machine.topology import MachineSpec, PIZ_DAINT_LIKE, laptop_spec
@@ -25,7 +33,11 @@ __all__ = [
     "DistributedMachine",
     "Rank",
     "CommCounters",
+    "CounterMatrix",
+    "COUNTER_FIELDS",
     "RankCounters",
+    "RoundCompressor",
+    "RoundDelta",
     "ConservationError",
     "MODES",
     "ShapeToken",

@@ -4,37 +4,136 @@ Every point-to-point transfer and every collective performed on the
 :class:`~repro.machine.simulator.DistributedMachine` updates these counters.
 The experiment harness reads them to produce the "MB communicated per core"
 series of Figures 6-7 and the per-rank averages of Table 4.
+
+Batched counter engine
+----------------------
+
+All per-rank counters of one machine live in a single dense
+:class:`CounterMatrix` -- one ``int64`` row per counter field, one column per
+rank.  :class:`RankCounters` objects are *lazy views* onto one column: every
+pre-existing caller (``rank.counters.words_sent += n``, harness metric reads,
+dataclass-style equality) keeps working, while collectives can post **one
+batched update for all participating ranks** (:meth:`CommCounters.
+post_transfers`) instead of iterating Python ``Rank`` objects, and every
+machine-wide aggregate (totals, means, maxima, conservation, round deltas)
+is one vectorized numpy reduction.
+
+The matrix layout is also what makes steady-state **round compression**
+possible (:class:`RoundCompressor`): the counter delta of a whole
+communication round is a ``fields x p`` integer array that can be captured
+once and replayed with a single vectorized add for every structurally
+identical round that follows.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+#: Per-rank counter fields, in matrix row order.  ``round_start_words`` is the
+#: ``total_words`` recorded at the last ``mark_round_start`` call --
+#: incremental round-delta tracking that replaces per-round deep copies.
+COUNTER_FIELDS = (
+    "words_sent",
+    "words_received",
+    "messages_sent",
+    "messages_received",
+    "flops",
+    "rounds",
+    "input_words",
+    "output_words",
+    "round_start_words",
+)
+
+#: Matrix row indices, one per entry of :data:`COUNTER_FIELDS`.
+(
+    WORDS_SENT,
+    WORDS_RECEIVED,
+    MESSAGES_SENT,
+    MESSAGES_RECEIVED,
+    FLOPS,
+    ROUNDS,
+    INPUT_WORDS,
+    OUTPUT_WORDS,
+    ROUND_START_WORDS,
+) = range(len(COUNTER_FIELDS))
 
 
 class ConservationError(RuntimeError):
     """Raised when the machine-wide sent and received word totals disagree."""
 
 
-@dataclass
-class RankCounters:
-    """Per-rank communication and computation counters."""
+class CounterMatrix:
+    """Dense backing store: one ``int64`` row per counter field, one column per rank."""
 
-    words_sent: int = 0
-    words_received: int = 0
-    messages_sent: int = 0
-    messages_received: int = 0
-    flops: int = 0
-    #: Number of communication rounds this rank participated in.  Used as the
-    #: latency proxy ``L`` (maximum number of messages on the critical path).
-    rounds: int = 0
-    #: Words communicated attributable to input matrices A and B (Figure 12
-    #: splits "sending inputs A and B" from "sending output C").
-    input_words: int = 0
-    #: Words communicated attributable to the output matrix C.
-    output_words: int = 0
-    #: ``total_words`` recorded at the last :meth:`mark_round_start` call --
-    #: incremental round-delta tracking that replaces per-round deep copies.
-    round_start_words: int = 0
+    __slots__ = ("data",)
+
+    def __init__(self, p: int, data: np.ndarray | None = None) -> None:
+        if data is None:
+            data = np.zeros((len(COUNTER_FIELDS), int(p)), dtype=np.int64)
+        self.data = data
+
+    @property
+    def p(self) -> int:
+        return int(self.data.shape[1])
+
+    def copy(self) -> "CounterMatrix":
+        return CounterMatrix(self.p, data=self.data.copy())
+
+    def zero(self) -> None:
+        self.data[...] = 0
+
+
+def _rank_property(row: int):
+    def fget(self) -> int:
+        return int(self._matrix.data[row, self._rank])
+
+    def fset(self, value) -> None:
+        self._matrix.data[row, self._rank] = value
+
+    return property(fget, fset)
+
+
+class RankCounters:
+    """Per-rank communication and computation counters.
+
+    A lazy view onto one column of a :class:`CounterMatrix`.  Constructed
+    standalone (``RankCounters(words_sent=5)``) it owns a private one-column
+    matrix, so the historic value-object usage keeps working; the counters of
+    a :class:`~repro.machine.simulator.DistributedMachine` are views into the
+    machine's shared matrix, which is what lets collectives batch their
+    updates and aggregates vectorize.
+    """
+
+    __slots__ = ("_matrix", "_rank")
+
+    def __init__(
+        self, *values: int, _matrix: CounterMatrix | None = None, _rank: int = 0, **named: int
+    ) -> None:
+        if _matrix is None:
+            _matrix = CounterMatrix(1)
+            _rank = 0
+        self._matrix = _matrix
+        self._rank = _rank
+        # Dataclass-compatible construction: positional values bind to
+        # COUNTER_FIELDS in order, keywords by name, duplicates rejected.
+        if len(values) > len(COUNTER_FIELDS):
+            raise TypeError(
+                f"RankCounters takes at most {len(COUNTER_FIELDS)} counter values, "
+                f"got {len(values)}"
+            )
+        for name, value in zip(COUNTER_FIELDS, values):
+            if name in named:
+                raise TypeError(f"RankCounters got multiple values for {name!r}")
+            setattr(self, name, value)
+        for name, value in named.items():
+            if name not in COUNTER_FIELDS:
+                raise TypeError(f"unknown counter field {name!r}; known: {COUNTER_FIELDS}")
+            setattr(self, name, value)
+
+    # Field properties (words_sent, ..., round_start_words) are attached
+    # below the class body, one per COUNTER_FIELDS row.
 
     @property
     def total_words(self) -> int:
@@ -53,63 +152,128 @@ class RankCounters:
         """Words moved through this rank since the last :meth:`mark_round_start`."""
         return self.words_sent + self.words_received - self.round_start_words
 
+    def as_tuple(self) -> tuple[int, ...]:
+        """The column values in :data:`COUNTER_FIELDS` order."""
+        return tuple(int(v) for v in self._matrix.data[:, self._rank])
+
     def copy(self) -> "RankCounters":
-        return RankCounters(**{f.name: getattr(self, f.name) for f in fields(RankCounters)})
+        """A standalone (privately backed) copy of this column's values."""
+        clone = RankCounters()
+        clone._matrix.data[:, 0] = self._matrix.data[:, self._rank]
+        return clone
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RankCounters):
+            return self.as_tuple() == other.as_tuple()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={getattr(self, name)}" for name in COUNTER_FIELDS)
+        return f"RankCounters({body})"
 
 
-@dataclass
+for _row, _name in enumerate(COUNTER_FIELDS):
+    setattr(RankCounters, _name, _rank_property(_row))
+del _row, _name
+
+
 class CommCounters:
-    """Aggregated counters for a whole distributed run."""
+    """Aggregated counters for a whole distributed run.
 
-    per_rank: list[RankCounters] = field(default_factory=list)
+    Owns the machine's :class:`CounterMatrix`; ``per_rank`` is the list of
+    per-column :class:`RankCounters` views.  Constructing from an existing
+    ``per_rank`` list *copies* the given values into a fresh matrix (the
+    simulator shares state the other way around: it hands the matrix's views
+    to its ranks).
+    """
+
+    __slots__ = ("matrix", "per_rank")
+
+    def __init__(
+        self,
+        per_rank: Sequence[RankCounters] | None = None,
+        matrix: CounterMatrix | None = None,
+    ) -> None:
+        if matrix is None:
+            matrix = CounterMatrix(0 if per_rank is None else len(per_rank))
+            if per_rank is not None:
+                for column, counters in enumerate(per_rank):
+                    matrix.data[:, column] = counters.as_tuple()
+        self.matrix = matrix
+        self.per_rank = [RankCounters(_matrix=matrix, _rank=i) for i in range(matrix.p)]
 
     @classmethod
     def for_ranks(cls, p: int) -> "CommCounters":
-        return cls(per_rank=[RankCounters() for _ in range(p)])
+        return cls(matrix=CounterMatrix(p))
 
-    # -- aggregate views -------------------------------------------------
+    # -- aggregate views (vectorized) -----------------------------------
     @property
     def p(self) -> int:
-        return len(self.per_rank)
+        return self.matrix.p
 
     @property
     def total_words_sent(self) -> int:
-        return sum(r.words_sent for r in self.per_rank)
+        return int(self.matrix.data[WORDS_SENT].sum())
 
     @property
     def total_words_received(self) -> int:
-        return sum(r.words_received for r in self.per_rank)
+        return int(self.matrix.data[WORDS_RECEIVED].sum())
 
     @property
     def total_messages(self) -> int:
-        return sum(r.messages_sent for r in self.per_rank)
+        return int(self.matrix.data[MESSAGES_SENT].sum())
 
     @property
     def total_flops(self) -> int:
-        return sum(r.flops for r in self.per_rank)
+        return int(self.matrix.data[FLOPS].sum())
+
+    def _total_words_per_rank(self) -> np.ndarray:
+        return self.matrix.data[WORDS_SENT] + self.matrix.data[WORDS_RECEIVED]
 
     def max_words_per_rank(self) -> int:
         """Maximum words moved through any single rank (critical-path volume)."""
-        if not self.per_rank:
+        if not self.p:
             return 0
-        return max(r.total_words for r in self.per_rank)
+        return int(self._total_words_per_rank().max())
 
     def mean_words_per_rank(self) -> float:
         """Average words moved per rank -- the quantity reported in Table 4."""
-        if not self.per_rank:
+        if not self.p:
             return 0.0
-        return sum(r.total_words for r in self.per_rank) / len(self.per_rank)
+        return float(self._total_words_per_rank().sum()) / self.p
 
     def mean_received_per_rank(self) -> float:
-        if not self.per_rank:
+        if not self.p:
             return 0.0
-        return self.total_words_received / len(self.per_rank)
+        return self.total_words_received / self.p
+
+    def max_received_per_rank(self) -> int:
+        if not self.p:
+            return 0
+        return int(self.matrix.data[WORDS_RECEIVED].max())
+
+    def max_flops_per_rank(self) -> int:
+        if not self.p:
+            return 0
+        return int(self.matrix.data[FLOPS].max())
+
+    def max_messages_per_rank(self) -> int:
+        """Messages (sent + received) on the busiest rank."""
+        if not self.p:
+            return 0
+        return int((self.matrix.data[MESSAGES_SENT] + self.matrix.data[MESSAGES_RECEIVED]).max())
+
+    def mean_input_words_per_rank(self) -> float:
+        return float(self.matrix.data[INPUT_WORDS].sum()) / max(1, self.p)
+
+    def mean_output_words_per_rank(self) -> float:
+        return float(self.matrix.data[OUTPUT_WORDS].sum()) / max(1, self.p)
 
     def max_rounds(self) -> int:
         """Latency proxy: maximum number of communication rounds on any rank."""
-        if not self.per_rank:
+        if not self.p:
             return 0
-        return max(r.rounds for r in self.per_rank)
+        return int(self.matrix.data[ROUNDS].max())
 
     def mean_megabytes_per_rank(self, word_bytes: int = 8) -> float:
         """Average megabytes moved per rank, matching Table 4's units."""
@@ -128,23 +292,156 @@ class CommCounters:
             )
 
     def mark_round_start(self) -> None:
-        """Mark the start of a communication round on every rank."""
-        for rank in self.per_rank:
-            rank.mark_round_start()
+        """Mark the start of a communication round on every rank (vectorized)."""
+        data = self.matrix.data
+        np.add(data[WORDS_SENT], data[WORDS_RECEIVED], out=data[ROUND_START_WORDS])
 
     def max_round_delta(self) -> int:
         """Maximum words any rank moved since the last :meth:`mark_round_start`."""
-        return max((r.round_delta_words() for r in self.per_rank), default=0)
+        if not self.p:
+            return 0
+        return int((self._total_words_per_rank() - self.matrix.data[ROUND_START_WORDS]).max())
 
+    # -- batched updates -------------------------------------------------
+    def post_transfers(
+        self,
+        srcs,
+        dsts,
+        words,
+        kind: str = "input",
+        count_rounds: bool = True,
+    ) -> None:
+        """One batched accounting update for many point-to-point transfers.
+
+        Equivalent to calling :meth:`DistributedMachine.send` once per
+        ``(srcs[i], dsts[i], words[i])`` triple -- words/messages/rounds and
+        the input/output split are incremented identically (``np.add.at``
+        handles ranks that appear several times).  ``words`` may be a scalar
+        (every transfer moves the same payload) or a per-transfer sequence.
+        """
+        srcs = np.asarray(srcs, dtype=np.intp)
+        dsts = np.asarray(dsts, dtype=np.intp)
+        if srcs.size == 0:
+            return
+        data = self.matrix.data
+        np.add.at(data[WORDS_SENT], srcs, words)
+        np.add.at(data[WORDS_RECEIVED], dsts, words)
+        np.add.at(data[MESSAGES_SENT], srcs, 1)
+        np.add.at(data[MESSAGES_RECEIVED], dsts, 1)
+        split = OUTPUT_WORDS if kind == "output" else INPUT_WORDS
+        np.add.at(data[split], srcs, words)
+        np.add.at(data[split], dsts, words)
+        if count_rounds:
+            np.add.at(data[ROUNDS], srcs, 1)
+            np.add.at(data[ROUNDS], dsts, 1)
+
+    def add_flops(self, ranks, amounts) -> None:
+        """Batched flop accounting (reduction combines, local updates)."""
+        np.add.at(self.matrix.data[FLOPS], np.asarray(ranks, dtype=np.intp), amounts)
+
+    def add_rounds(self, ranks: Iterable[int], amount: int = 1) -> None:
+        """Advance the round counter of every rank in ``ranks`` by ``amount``."""
+        np.add.at(self.matrix.data[ROUNDS], np.asarray(list(ranks), dtype=np.intp), amount)
+
+    # -- lifecycle -------------------------------------------------------
     def reset(self) -> None:
-        # Field-driven so newly added counters can never be silently missed; a
-        # fresh instance per rank supplies every field's default (covering
-        # default_factory fields too, without sharing mutable defaults).
-        for rank in self.per_rank:
-            blank = RankCounters()
-            for spec in fields(RankCounters):
-                setattr(rank, spec.name, getattr(blank, spec.name))
+        # Matrix-driven: every counter field is a row of the backing store by
+        # construction, so newly added counters can never be silently missed.
+        self.matrix.zero()
 
     def snapshot(self) -> "CommCounters":
         """Deep copy of the current counters (for before/after diffing)."""
-        return CommCounters(per_rank=[r.copy() for r in self.per_rank])
+        return CommCounters(matrix=self.matrix.copy())
+
+
+# ---------------------------------------------------------------------------
+# Steady-state round compression
+# ---------------------------------------------------------------------------
+class RoundDelta:
+    """The counter delta of one executed communication round.
+
+    A ``fields x p`` integer array: everything one round added to the
+    machine's :class:`CounterMatrix`.  Replaying it is a single vectorized
+    add, byte-identical to re-executing the round's schedule.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = data
+
+    @property
+    def max_words_delta(self) -> int:
+        """Maximum words any rank moved in the round (the per-round volume)."""
+        if not self.data.shape[1]:
+            return 0
+        return int((self.data[WORDS_SENT] + self.data[WORDS_RECEIVED]).max())
+
+
+class RoundCompressor:
+    """Replay cached counter deltas for structurally identical rounds.
+
+    Algorithms fingerprint each communication round (participants and payload
+    shapes -- anything that determines the round's schedule).  The first time
+    a fingerprint is seen its executed delta is captured; afterwards
+    :meth:`replay` applies the cached delta without re-executing the
+    schedule.  Only meaningful with counters-only payloads (``volume`` mode),
+    where skipping a round's execution loses no numerical state.
+
+    Cache keys are ``(previous fingerprint, fingerprint)`` pairs: the
+    ``round_start_words`` row of a round's delta depends on how many words
+    the *previous* round moved (``mark_round_start`` records a running
+    total), so a delta is only reused when the preceding round was
+    structurally identical too.  This is what makes the replayed counters
+    provably byte-identical to uncompressed execution.
+    """
+
+    #: Sentinel "no previous round" fingerprint.
+    _START: Hashable = object()
+
+    def __init__(self, counters: CommCounters) -> None:
+        self._counters = counters
+        self._cache: dict[tuple[Hashable, Hashable], RoundDelta] = {}
+        self._last_fp: Hashable = self._START
+        self._pending_fp: Hashable | None = None
+        self._start_data: np.ndarray | None = None
+        #: Rounds answered from the delta cache / executed for real.
+        self.replayed_rounds = 0
+        self.executed_rounds = 0
+
+    def replay(self, fingerprint: Hashable) -> RoundDelta | None:
+        """Replay the cached delta for ``fingerprint``, or begin capturing.
+
+        Returns the applied :class:`RoundDelta` on a cache hit (the caller
+        must then *skip* the round's execution), or ``None`` on a miss --
+        in which case capture starts and the caller must execute the round
+        and call :meth:`commit`.
+        """
+        delta = self._cache.get((self._last_fp, fingerprint))
+        if delta is not None:
+            self._counters.matrix.data += delta.data
+            self._last_fp = fingerprint
+            self.replayed_rounds += 1
+            return delta
+        self._pending_fp = fingerprint
+        self._start_data = self._counters.matrix.data.copy()
+        return None
+
+    def commit(self) -> RoundDelta:
+        """Capture the executed round's delta and cache it."""
+        if self._start_data is None:
+            raise RuntimeError("commit() without a preceding replay() miss")
+        delta = RoundDelta(self._counters.matrix.data - self._start_data)
+        self._cache[(self._last_fp, self._pending_fp)] = delta
+        self._last_fp = self._pending_fp
+        self._pending_fp = None
+        self._start_data = None
+        self.executed_rounds += 1
+        return delta
+
+    def clear(self) -> None:
+        """Drop every cached delta (counter reset, machine reuse)."""
+        self._cache.clear()
+        self._last_fp = self._START
+        self._pending_fp = None
+        self._start_data = None

@@ -110,8 +110,8 @@ class MemoryHierarchy:
         return self.capacity - len(self._fast)
 
     # -- pebble-game moves ------------------------------------------------
-    def load(self, address: Address) -> None:
-        """Load ``address`` from slow into fast memory (a blue-to-red move)."""
+    def _load_one(self, address: Address) -> None:
+        """The blue-to-red move itself, without peak tracking."""
         if address in self._fast:
             return
         if address not in self._slow:
@@ -119,11 +119,25 @@ class MemoryHierarchy:
         self._ensure_space(1)
         self._fast.add(address)
         self.stats.loads += 1
+
+    def load(self, address: Address) -> None:
+        """Load ``address`` from slow into fast memory (a blue-to-red move)."""
+        self._load_one(address)
         self._track_peak()
 
     def load_many(self, addresses: Iterable[Address]) -> None:
-        for address in addresses:
-            self.load(address)
+        """Batched :meth:`load`: one peak-tracking update for the whole batch.
+
+        Sequential kernels load whole tiles at a time; residency only grows
+        during a batch, so tracking the peak once at the end (or at the point
+        of failure) is exact while the pebble-game semantics -- including
+        partial loads before an error -- are untouched.
+        """
+        try:
+            for address in addresses:
+                self._load_one(address)
+        finally:
+            self._track_peak()
 
     def store(self, address: Address) -> None:
         """Store ``address`` from fast into slow memory (a red-to-blue move)."""

@@ -46,7 +46,19 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.machine.counters import CommCounters, RankCounters
+from repro.machine.counters import (
+    INPUT_WORDS,
+    MESSAGES_RECEIVED,
+    MESSAGES_SENT,
+    OUTPUT_WORDS,
+    ROUNDS,
+    WORDS_RECEIVED,
+    WORDS_SENT,
+    CommCounters,
+    RankCounters,
+    RoundCompressor,
+    RoundDelta,
+)
 from repro.machine.topology import MachineSpec, laptop_spec
 from repro.machine.transport import (
     ShapeToken,
@@ -136,6 +148,15 @@ class DistributedMachine:
         Payload transport: ``"legacy"`` (copy per delivery), ``"zerocopy"``
         (shared read-only views) or ``"volume"`` (counters-only shape tokens);
         see the module docstring and :mod:`repro.machine.transport`.
+    compress_rounds:
+        Opt into steady-state round compression: algorithms fingerprint each
+        communication round and, when consecutive rounds repeat, the cached
+        batched counter delta is replayed instead of re-executing the
+        schedule (:class:`~repro.machine.counters.RoundCompressor`).
+        Counters are byte-identical to uncompressed execution; only active
+        with counters-only payloads (``volume`` mode) -- silently ignored
+        otherwise, because replaying a round would skip real data movement.
+        Replayed rounds do not appear in ``round_log``.
     """
 
     def __init__(
@@ -145,6 +166,7 @@ class DistributedMachine:
         spec: MachineSpec | None = None,
         enforce_memory: bool = False,
         mode: str = "legacy",
+        compress_rounds: bool = False,
     ) -> None:
         self.p = check_positive_int(p, "p")
         self.transport: Transport = make_transport(mode)
@@ -155,8 +177,16 @@ class DistributedMachine:
         if self.memory_words <= 0:
             raise ValueError(f"memory_words must be positive, got {self.memory_words}")
         self.enforce_memory = bool(enforce_memory)
-        self.ranks = [Rank(rank_id=i) for i in range(self.p)]
-        self.counters = CommCounters(per_rank=[rank.counters for rank in self.ranks])
+        # One shared counter matrix; every rank's counters are views into it.
+        self.counters = CommCounters.for_ranks(self.p)
+        self.ranks = [
+            Rank(rank_id=i, counters=self.counters.per_rank[i]) for i in range(self.p)
+        ]
+        self.compressor: RoundCompressor | None = (
+            RoundCompressor(self.counters)
+            if compress_rounds and self.transport.counters_only
+            else None
+        )
         self.peak_resident_words = 0
         #: Log of (round_label, participating_ranks) entries, useful for debugging.
         self.round_log: list[str] = []
@@ -205,23 +235,43 @@ class DistributedMachine:
         """
         if src == dst:
             return self.transport.self_copy(block)
-        sender = self.rank(src)
-        receiver = self.rank(dst)
+        if not 0 <= src < self.p:
+            raise IndexError(f"rank {src} out of range for machine with p={self.p}")
+        if not 0 <= dst < self.p:
+            raise IndexError(f"rank {dst} out of range for machine with p={self.p}")
         words = payload_words(block)
-        sender.counters.words_sent += words
-        sender.counters.messages_sent += 1
-        receiver.counters.words_received += words
-        receiver.counters.messages_received += 1
-        if kind == "output":
-            sender.counters.output_words += words
-            receiver.counters.output_words += words
-        else:
-            sender.counters.input_words += words
-            receiver.counters.input_words += words
+        # Scalar update straight into the shared counter matrix (the batched
+        # equivalent for whole collectives is post_transfers).
+        data = self.counters.matrix.data
+        data[WORDS_SENT, src] += words
+        data[MESSAGES_SENT, src] += 1
+        data[WORDS_RECEIVED, dst] += words
+        data[MESSAGES_RECEIVED, dst] += 1
+        split = OUTPUT_WORDS if kind == "output" else INPUT_WORDS
+        data[split, src] += words
+        data[split, dst] += words
         if count_round:
-            sender.counters.rounds += 1
-            receiver.counters.rounds += 1
+            data[ROUNDS, src] += 1
+            data[ROUNDS, dst] += 1
         return self.transport.deliver(block)
+
+    def post_transfers(
+        self,
+        srcs: Sequence[int],
+        dsts: Sequence[int],
+        words,
+        kind: str = "input",
+        count_rounds: bool = True,
+    ) -> None:
+        """Batched accounting for many point-to-point transfers at once.
+
+        Counter-equivalent to one :meth:`send` per ``(srcs[i], dsts[i])``
+        pair moving ``words`` (a scalar, or one entry per pair); no payload
+        is delivered.  Collectives use this in counters-only (``volume``)
+        mode to post a single vectorized update for all participating ranks
+        instead of iterating :class:`Rank` objects.
+        """
+        self.counters.post_transfers(srcs, dsts, words, kind=kind, count_rounds=count_rounds)
 
     def sendrecv(
         self,
@@ -373,7 +423,33 @@ class DistributedMachine:
     def log_round(self, label: str) -> None:
         self.round_log.append(label)
 
+    # ------------------------------------------------------------------
+    # steady-state round compression
+    # ------------------------------------------------------------------
+    def replay_round(self, fingerprint) -> RoundDelta | None:
+        """Replay a structurally identical round from the compressor cache.
+
+        ``fingerprint`` must uniquely determine the round's communication
+        schedule (participants, payload shapes, local compute) for the
+        algorithm running on this machine.  Returns the applied
+        :class:`~repro.machine.counters.RoundDelta` on a hit -- the caller
+        skips the round's body -- or ``None``, in which case the round must
+        execute and end with :meth:`commit_round`.  Always ``None`` when
+        compression is inactive (``compress_rounds=False`` or a transport
+        that carries real payloads).
+        """
+        if self.compressor is None:
+            return None
+        return self.compressor.replay(fingerprint)
+
+    def commit_round(self) -> None:
+        """Capture the just-executed round's counter delta for future replays."""
+        if self.compressor is not None:
+            self.compressor.commit()
+
     def reset_counters(self) -> None:
         self.counters.reset()
+        if self.compressor is not None:
+            self.compressor.clear()
         self.peak_resident_words = 0
         self.round_log.clear()

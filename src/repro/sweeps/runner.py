@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.algorithms import get_algorithm
@@ -89,6 +89,7 @@ def execute_request(request: RunRequest) -> dict:
         seed=request.seed,
         verify=request.verify,
         mode=request.mode,
+        compress_rounds=request.compress_rounds,
     )
     if isinstance(outcome, AlgorithmRun):
         return run_to_record(outcome, request.key, seed=request.seed)
@@ -117,6 +118,7 @@ def run_campaign(
     resume: bool = True,
     retry_failures: bool = False,
     prune: bool = True,
+    compress_rounds: bool = False,
     progress: Callable[[dict, bool], None] | None = None,
 ) -> CampaignResult:
     """Run every request of ``spec`` that the store cannot already answer.
@@ -148,6 +150,11 @@ def run_campaign(
         point violates the parallel schedule's ``p*S >= mn + mk + nk``
         precondition, not a crash prediction (the lenient simulator would
         execute it); pass ``prune=False`` to execute such points anyway.
+    compress_rounds:
+        Execute every run with steady-state round compression (volume mode
+        only; a pure speed knob).  Counters -- and therefore records, keys
+        and tidy rows -- are byte-identical with or without it, so cached
+        results remain valid across the flag.
     progress:
         Optional callback invoked as ``progress(record, from_cache)`` after
         every request resolves, in expansion order for cached entries and in
@@ -157,6 +164,11 @@ def run_campaign(
         requests = spec.expand()
     else:
         requests = list(spec)
+    if compress_rounds:
+        requests = [
+            request if request.compress_rounds else replace(request, compress_rounds=True)
+            for request in requests
+        ]
     if store is None or isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
         store = ResultStore(store if store is not None else DEFAULT_STORE_PATH)
     if jobs < 1:

@@ -35,13 +35,21 @@ REGIMES = ("strong", "limited", "extra")
 
 @dataclass(frozen=True)
 class RunRequest:
-    """One executable point of a campaign: algorithm x scenario x mode."""
+    """One executable point of a campaign: algorithm x scenario x mode.
+
+    ``compress_rounds`` is an execution policy, not part of the run's
+    identity: compressed and uncompressed executions produce byte-identical
+    counters (guarded by the golden sweep and the compression-parity tests),
+    so it deliberately does not participate in :attr:`key` -- a cached
+    uncompressed record answers a compressed request and vice versa.
+    """
 
     algorithm: str
     scenario: Scenario
     mode: str = "volume"
     seed: int = 0
     verify: bool = True
+    compress_rounds: bool = False
 
     @property
     def key(self) -> str:
@@ -54,6 +62,7 @@ class RunRequest:
             "mode": self.mode,
             "seed": self.seed,
             "verify": self.verify,
+            "compress_rounds": self.compress_rounds,
         }
 
 
@@ -64,6 +73,7 @@ def request_from_dict(data: Mapping) -> RunRequest:
         mode=data["mode"],
         seed=data["seed"],
         verify=data["verify"],
+        compress_rounds=bool(data.get("compress_rounds", False)),
     )
 
 

@@ -225,3 +225,60 @@ class TestRunReportApi:
         b = rng.standard_normal((16, 16))
         report = multiply(a, b, 4, 4096, 0.03)
         assert report.correct
+
+
+class TestPlanMemoization:
+    """AlgorithmSpec.plan is memoized per (algorithm, scenario, options)."""
+
+    def test_repeated_plans_return_cached_object(self, scenario):
+        spec = get_algorithm("COSMA")
+        first = spec.plan(scenario)
+        second = spec.plan(scenario)
+        assert first is second  # same LRU entry, grid fitted once
+
+    def test_option_values_key_the_cache(self, scenario):
+        spec = get_algorithm("COSMA")
+        default = spec.plan(scenario)
+        loose = spec.plan(scenario, max_idle_fraction=0.5)
+        assert loose is spec.plan(scenario, max_idle_fraction=0.5)
+        assert default is spec.plan(scenario)
+        assert loose is not default
+
+    def test_reregistration_invalidates_cache(self, scenario):
+        from repro.algorithms import ALGORITHMS, Plan, plan_cache_clear
+
+        spec = get_algorithm("COSMA")
+        before = spec.plan(scenario)
+        # Re-registering (even with identical metadata) must drop cached plans.
+        ALGORITHMS["COSMA"] = spec.runner
+        after = get_algorithm("COSMA").plan(scenario)
+        assert after == before
+        assert after is not before
+        plan_cache_clear()
+        assert isinstance(get_algorithm("COSMA").plan(scenario), Plan)
+
+    def test_unregistered_spec_plans_with_its_own_planner(self, scenario):
+        from repro.algorithms import AlgorithmSpec
+
+        standalone = AlgorithmSpec(name="never-registered", runner=lambda a, b, s, m: a)
+        run_plan = standalone.plan(scenario)  # must not touch the registry
+        assert run_plan.algorithm == "never-registered"
+        assert run_plan.feasible
+
+    def test_superseded_spec_keeps_its_own_planner(self, scenario):
+        from dataclasses import replace
+
+        from repro.algorithms import register, unregister
+
+        spec = get_algorithm("COSMA")
+        marker = Plan(algorithm="marker", scenario=scenario, feasible=True)
+        replacement = replace(spec, plan_fn=lambda s, **kw: marker)
+        register(replacement, replace=True)
+        try:
+            # The superseded spec object must not dispatch to the new planner.
+            assert spec.plan(scenario).algorithm == "COSMA"
+            assert get_algorithm("COSMA").plan(scenario) is marker
+        finally:
+            register(spec, replace=True)
+        unregister_probe = get_algorithm("COSMA")
+        assert unregister_probe.plan(scenario).algorithm == "COSMA"

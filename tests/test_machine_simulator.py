@@ -171,3 +171,114 @@ class TestDistributedMachine:
         machine.reset_counters()
         assert machine.counters.total_words_sent == 0
         assert machine.peak_resident_words == 0
+
+
+class TestBatchedCounterEngine:
+    """post_transfers and the CounterMatrix must mirror per-send accounting."""
+
+    def test_post_transfers_matches_sequential_sends(self):
+        batched = DistributedMachine(4)
+        serial = DistributedMachine(4)
+        pairs = [(0, 1, 5), (0, 2, 7), (1, 3, 5), (0, 1, 2)]
+        for src, dst, words in pairs:
+            serial.send(src, dst, np.ones(words), kind="output")
+        batched.post_transfers(
+            [s for s, _, _ in pairs], [d for _, d, _ in pairs],
+            [w for _, _, w in pairs], kind="output",
+        )
+        assert [r.counters.copy() for r in batched.ranks] == [
+            r.counters.copy() for r in serial.ranks
+        ]
+
+    def test_post_transfers_scalar_words(self):
+        machine = DistributedMachine(3)
+        machine.post_transfers([0, 0], [1, 2], 4)
+        assert machine.rank(0).counters.words_sent == 8
+        assert machine.rank(1).counters.words_received == 4
+        assert machine.counters.conservation_ok()
+
+    def test_counter_matrix_is_shared_with_ranks(self):
+        machine = DistributedMachine(2)
+        machine.rank(0).counters.flops += 9
+        assert machine.counters.matrix.data[4, 0] == 9  # FLOPS row
+        assert machine.counters.total_flops == 9
+
+    def test_vectorized_aggregates_return_python_numbers(self):
+        machine = DistributedMachine(2)
+        machine.send(0, 1, np.ones(5))
+        counters = machine.counters
+        assert isinstance(counters.total_words_sent, int)
+        assert isinstance(counters.max_words_per_rank(), int)
+        assert isinstance(counters.mean_words_per_rank(), float)
+        assert isinstance(counters.max_messages_per_rank(), int)
+
+
+class TestRoundCompression:
+    """The machine-level replay/commit protocol."""
+
+    def _round(self, machine):
+        machine.send(0, 1, machine.zeros((3, 3)))
+        machine.send(1, 2, machine.zeros((2, 2)))
+
+    def test_replay_requires_volume_mode(self):
+        machine = DistributedMachine(2, mode="legacy", compress_rounds=True)
+        assert machine.compressor is None
+        assert machine.replay_round("fp") is None
+
+    def test_identical_consecutive_rounds_replay(self):
+        compressed = DistributedMachine(3, mode="volume", compress_rounds=True)
+        plain = DistributedMachine(3, mode="volume")
+        for _ in range(5):
+            if compressed.replay_round("steady") is None:
+                self._round(compressed)
+                compressed.commit_round()
+            self._round(plain)
+        assert [r.counters.copy() for r in compressed.ranks] == [
+            r.counters.copy() for r in plain.ranks
+        ]
+        # Round 1 executes, round 2 executes (different predecessor), 3-5 replay.
+        assert compressed.compressor.executed_rounds == 2
+        assert compressed.compressor.replayed_rounds == 3
+
+    def test_round_start_words_stays_identical(self):
+        # mark_round_start couples a round's delta to its predecessor; the
+        # (prev, cur) cache keying must keep the bookkeeping byte-identical.
+        compressed = DistributedMachine(3, mode="volume", compress_rounds=True)
+        plain = DistributedMachine(3, mode="volume")
+        for i in range(6):
+            fp = "warmup" if i == 0 else "steady"
+            if compressed.replay_round(fp) is None:
+                compressed.counters.mark_round_start()
+                self._round(compressed)
+                if i == 0:
+                    compressed.send(0, 2, compressed.zeros((4, 4)))
+                compressed.commit_round()
+            plain.counters.mark_round_start()
+            self._round(plain)
+            if i == 0:
+                plain.send(0, 2, plain.zeros((4, 4)))
+        assert [r.counters.copy() for r in compressed.ranks] == [
+            r.counters.copy() for r in plain.ranks
+        ]
+
+    def test_reset_counters_clears_compressor_cache(self):
+        machine = DistributedMachine(3, mode="volume", compress_rounds=True)
+        assert machine.replay_round("fp") is None
+        self._round(machine)
+        machine.commit_round()
+        machine.reset_counters()
+        assert machine.compressor.replayed_rounds == 0
+        assert machine.replay_round("fp") is None  # cache is empty again
+        self._round(machine)
+        machine.commit_round()
+
+    def test_dataclass_style_construction(self):
+        # RankCounters predates the CounterMatrix and was a dataclass;
+        # positional field order and duplicate rejection must survive.
+        counters = RankCounters(5, 7)
+        assert counters.words_sent == 5
+        assert counters.words_received == 7
+        with pytest.raises(TypeError):
+            RankCounters(5, words_sent=1)
+        with pytest.raises(TypeError):
+            RankCounters(unknown_field=1)
