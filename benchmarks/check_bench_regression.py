@@ -1,20 +1,26 @@
-"""CI regression gate for the paper-scale volume-mode run.
+"""CI regression gate for the paper-scale and plane-engine benchmark rows.
 
-Re-executes the COSMA paper-scale point (p = 1024, m = n = k = 4096,
-limited-memory regime, ``compress_rounds=True``) and compares it against the
-``paper_scale_volume_mode`` entry of a committed ``BENCH_simulator.json``:
+Re-executes two committed rows of ``BENCH_simulator.json`` and gates them:
 
-* the counters must match the baseline **exactly** (MB/rank, rounds, flops)
-  -- a mismatch is a correctness regression in the counter engine;
-* the wall time must not regress by more than ``--max-regression`` (default
-  25%) over the baseline seconds, with a small absolute noise floor so that
-  sub-second baselines cannot flake on loaded CI machines.
+* the COSMA paper-scale point (p = 1024, m = n = k = 4096, limited-memory
+  regime, ``compress_rounds=True``) against ``paper_scale_volume_mode``;
+* the shared-sweep **plane** row (stacked-array numeric engine, result
+  verification enabled) against ``shared_sweep`` -- every per-scenario
+  counter in ``plane_signature`` must match byte-for-byte and every product
+  must verify.
+
+For both rows the counters must match the baseline **exactly** (a mismatch
+is a correctness regression in the counter engine) and the wall time must
+not regress by more than ``--max-regression`` (default 25%) over the
+baseline seconds, with a small absolute noise floor so that sub-second
+baselines cannot flake on loaded CI machines.
 
 Run it *before* any benchmark overwrites ``BENCH_simulator.json``::
 
     python benchmarks/check_bench_regression.py --baseline BENCH_simulator.json
 
-Exit code 0 on success, 1 on a counter mismatch or a timing regression.
+Exit code 0 on success, 1 on a counter mismatch, a failed verification or a
+timing regression.
 """
 
 from __future__ import annotations
@@ -56,9 +62,14 @@ def main(argv=None) -> int:
     baseline = report["paper_scale_volume_mode"]
 
     from repro.experiments.harness import run_algorithm
-    from repro.workloads.scaling import Scenario
+    from repro.workloads.scaling import Scenario, strong_scaling_sweep
     from repro.workloads.shapes import square_shape
 
+    failures = []
+
+    # ------------------------------------------------------------------
+    # gate 1: the compressed paper-scale volume run
+    # ------------------------------------------------------------------
     side = int(baseline["shape"].rsplit("=", 1)[-1])
     scenario = Scenario(
         name=baseline["scenario"],
@@ -74,7 +85,6 @@ def main(argv=None) -> int:
     )
     seconds = time.perf_counter() - start
 
-    failures = []
     measured = {
         "mean_megabytes_per_rank": round(run.mean_megabytes_per_rank, 3),
         "rounds": run.rounds,
@@ -95,10 +105,60 @@ def main(argv=None) -> int:
             f"(baseline {baseline['seconds']}s + {args.max_regression:.0%} + {NOISE_FLOOR_S}s floor)"
         )
 
+    # ------------------------------------------------------------------
+    # gate 2: the shared-sweep plane row (numeric engine, verification on)
+    # ------------------------------------------------------------------
+    shared = report.get("shared_sweep", {})
+    if "plane" in shared.get("seconds", {}):
+        sweep_side = int(shared["shape"].rsplit("=", 1)[-1])
+        # Per-p singleton construction = fixed aggregate memory (~2x the
+        # footprint at every p), mirroring the benchmark's shared sweep.
+        sweep = [
+            point
+            for p in shared["p_values"]
+            for point in strong_scaling_sweep(square_shape(sweep_side), (p,))
+        ]
+        start = time.perf_counter()
+        plane_runs = [
+            run_algorithm("COSMA", point, mode="plane", verify=True) for point in sweep
+        ]
+        plane_seconds = time.perf_counter() - start
+        if not all(r.verified and r.correct for r in plane_runs):
+            failures.append("plane mode: a shared-sweep product failed verification")
+        signature = [
+            [
+                r.mean_words_per_rank,
+                r.max_words_per_rank,
+                r.rounds,
+                r.total_flops,
+                r.input_words_per_rank,
+                r.output_words_per_rank,
+                r.max_messages_per_rank,
+            ]
+            for r in plane_runs
+        ]
+        if signature != shared["plane_signature"]:
+            failures.append("plane mode: shared-sweep counters drifted from the baseline")
+        plane_allowed = (
+            shared["seconds"]["plane"] * (1.0 + args.max_regression) + NOISE_FLOOR_S
+        )
+        print(
+            f"shared-sweep plane run: {plane_seconds:.2f}s "
+            f"(baseline {shared['seconds']['plane']}s, allowed {plane_allowed:.2f}s)"
+        )
+        if plane_seconds > plane_allowed:
+            failures.append(
+                f"plane timing regression: {plane_seconds:.2f}s > {plane_allowed:.2f}s "
+                f"(baseline {shared['seconds']['plane']}s + "
+                f"{args.max_regression:.0%} + {NOISE_FLOOR_S}s floor)"
+            )
+    else:
+        failures.append("baseline has no plane row; regenerate BENCH_simulator.json")
+
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
-        print("OK: counters identical, timing within the allowance")
+        print("OK: counters identical, products verified, timing within the allowance")
     return 1 if failures else 0
 
 

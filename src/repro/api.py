@@ -143,9 +143,10 @@ def multiply(
         ``"CTF"``/``"2.5D"``, ``"CARMA"``, ``"Cannon"``, or anything added
         via :func:`repro.algorithms.register_algorithm`).
     mode:
-        Payload transport: ``"legacy"`` / ``"zerocopy"`` run and verify real
-        numerics; ``"volume"`` counts communication only (``matrix`` is
-        ``None``) and scales to paper-size grids.
+        Payload transport: ``"legacy"`` / ``"zerocopy"`` / ``"plane"`` run
+        and verify real numerics (``"plane"`` on stacked arrays -- the
+        fastest verified mode); ``"volume"`` counts communication only
+        (``matrix`` is ``None``) and scales to paper-size grids.
     compress_rounds:
         Opt into steady-state round compression: structurally identical
         communication rounds replay a cached counter delta instead of

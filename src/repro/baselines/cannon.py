@@ -12,6 +12,14 @@ memory exists.
 Matrix dimensions that do not divide by ``q`` are zero-padded; the padding is
 reflected in the measured volume, mirroring the real implementations'
 behaviour on awkward sizes.
+
+In ``plane`` mode (``machine.transport.planar``) the executor opts into the
+stacked-array engine: the ``q^2`` A / B / C blocks live in three
+:class:`~repro.machine.transport.PayloadPlane` stacks, a ring shift becomes
+one fancy-indexed permutation of a stack's leading axis, and each round's
+``q^2`` local multiply-accumulates become a single batched ``np.matmul``.
+Counters are posted through the same batched path as ``volume`` mode and are
+byte-identical to the per-hop reference execution.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import numpy as np
 from repro.machine.collectives import ring_shift
 from repro.machine.counters import CommCounters
 from repro.machine.simulator import DistributedMachine
-from repro.machine.transport import as_payload, ascontiguous
+from repro.machine.transport import PayloadPlane, as_payload, ascontiguous
 from repro.utils.intmath import ceil_div
 from repro.utils.validation import check_positive_int
 
@@ -93,6 +101,10 @@ def cannon_multiply(
     def rank_of(i: int, j: int) -> int:
         return i * q + j
 
+    if machine.transport.planar:
+        c_pad = _cannon_plane(machine, a_pad, b_pad, q, bm, bn, bk, skew)
+        return CannonRunResult(matrix=c_pad[:m, :n], grid_size=q, counters=machine.counters)
+
     # Initial blocked distribution (setup, not counted).
     a_blocks: dict[int, np.ndarray] = {}
     b_blocks: dict[int, np.ndarray] = {}
@@ -156,3 +168,121 @@ def cannon_multiply(
             r = rank_of(i, j)
             c_pad[i * bm : (i + 1) * bm, j * bn : (j + 1) * bn] = c_blocks[r]
     return CannonRunResult(matrix=c_pad[:m, :n], grid_size=q, counters=machine.counters)
+
+
+def _shift_permutation(q: int, displacement: int, axis: str) -> np.ndarray:
+    """Slot permutation of one ring-shift step: ``new[slot] = old[perm[slot]]``.
+
+    ``axis="row"`` shifts every grid row left by ``displacement`` blocks (the
+    A shift); ``axis="col"`` shifts every column up (the B shift) -- exactly
+    what :func:`~repro.machine.collectives.ring_shift` does rank by rank.
+    """
+    i_idx, j_idx = np.divmod(np.arange(q * q), q)
+    if axis == "row":
+        return i_idx * q + (j_idx + displacement) % q
+    return ((i_idx + displacement) % q) * q + j_idx
+
+
+def _post_shift(machine: DistributedMachine, perm: np.ndarray, words: int) -> None:
+    """Counter accounting of one all-rows (or all-columns) ring-shift step.
+
+    Counter-equivalent to one :func:`ring_shift` per grid row/column: every
+    rank whose block actually moves posts one ``words``-word transfer, and
+    every rank's round counter advances once.
+    """
+    slots = np.arange(perm.size)
+    moving = perm != slots
+    machine.post_transfers(perm[moving], slots[moving], words, kind="input",
+                           count_rounds=False)
+    machine.counters.add_rounds(slots)
+
+
+def _cannon_plane(
+    machine: DistributedMachine,
+    a_pad: np.ndarray,
+    b_pad: np.ndarray,
+    q: int,
+    bm: int,
+    bn: int,
+    bk: int,
+    skew: bool,
+) -> np.ndarray:
+    """Cannon on the stacked-array engine; returns the padded global product.
+
+    The ``q x q`` block grid of each operand is one ``(q^2, rows, cols)``
+    stack; shifts permute the leading axis, multiplies are batched GEMMs,
+    and counters ride the same batched posts as ``volume`` mode.
+    """
+
+    def to_stack(pad: np.ndarray, rows: int, cols: int) -> np.ndarray:
+        return np.ascontiguousarray(
+            pad.reshape(q, rows, q, cols).transpose(0, 2, 1, 3).reshape(q * q, rows, cols)
+        )
+
+    a_plane = machine.register_plane(
+        "cannon.A", PayloadPlane("cannon.A", data=to_stack(a_pad, bm, bk)),
+        replace=True,
+    )
+    b_plane = machine.register_plane(
+        "cannon.B", PayloadPlane("cannon.B", data=to_stack(b_pad, bk, bn)),
+        replace=True,
+    )
+    c_plane = machine.new_plane("cannon.C", (q * q, bm, bn))
+    for slot in range(q * q):
+        machine.rank(slot).put("A", a_plane.attach(slot, slot))
+        machine.rank(slot).put("B", b_plane.attach(slot, slot))
+        machine.rank(slot).put("C", c_plane.attach(slot, slot))
+
+    # Working stacks; the registered planes keep the initial distribution,
+    # matching the reference path's rank stores (shifts deliver new buffers,
+    # they never overwrite the initially stored blocks).
+    a_stack = a_plane.data
+    b_stack = b_plane.data
+
+    # Initial alignment: row i of A shifts left by i, column j of B up by j.
+    # Each row/column has its own displacement; rounds are charged per
+    # row/column, mirroring one ring_shift call each.
+    if skew:
+        for i in range(q):
+            perm = np.arange(q * q)
+            row = slice(i * q, (i + 1) * q)
+            perm[row] = i * q + (np.arange(q) + i) % q
+            moving = perm != np.arange(q * q)
+            machine.post_transfers(
+                perm[moving], np.flatnonzero(moving), bm * bk, kind="input",
+                count_rounds=False,
+            )
+            machine.counters.add_rounds(range(i * q, (i + 1) * q))
+            a_stack = a_stack[perm]
+        for j in range(q):
+            perm = np.arange(q * q)
+            col = np.arange(q) * q + j
+            perm[col] = ((np.arange(q) + j) % q) * q + j
+            moving = perm != np.arange(q * q)
+            machine.post_transfers(
+                perm[moving], np.flatnonzero(moving), bk * bn, kind="input",
+                count_rounds=False,
+            )
+            machine.counters.add_rounds(col)
+            b_stack = b_stack[perm]
+
+    # Main loop: q rounds of batched multiply + whole-grid shift by one.
+    all_slots = np.arange(q * q)
+    perm_a = _shift_permutation(q, 1, "row")
+    perm_b = _shift_permutation(q, 1, "col")
+    flops_each = 2 * bm * bn * bk
+    for step in range(q):
+        np.add(c_plane.data, a_stack @ b_stack, out=c_plane.data)
+        machine.post_flops(all_slots, flops_each)
+        if step == q - 1:
+            break
+        _post_shift(machine, perm_a, bm * bk)
+        a_stack = a_stack[perm_a]
+        _post_shift(machine, perm_b, bk * bn)
+        b_stack = b_stack[perm_b]
+        machine.check_memory()
+
+    c_pad = np.zeros((bm * q, bn * q))
+    c_view = c_plane.data.reshape(q, q, bm, bn)
+    c_pad[...] = c_view.transpose(0, 2, 1, 3).reshape(bm * q, bn * q)
+    return c_pad

@@ -8,6 +8,11 @@ for all shapes but -- as section 6.2 of the paper shows -- communicates up to
 ``sqrt(3)`` times more than the optimal COSMA domains in the limited-memory
 regime, and only supports processor counts that are powers of two (extra ranks
 stay idle, mirroring the real implementation's restriction).
+
+Execution rides the generic cuboid executor, so CARMA participates in every
+transport mode -- including the stacked-array ``plane`` engine, where its
+near-uniform recursive cuboids batch into a handful of stacked GEMMs (see
+:mod:`repro.baselines.cuboid`).
 """
 
 from __future__ import annotations

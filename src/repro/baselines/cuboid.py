@@ -20,6 +20,13 @@ exactly the quantity the communication lower bounds reason about.  Cuboids may
 overlap partially in their projections (as happens for CARMA with
 non-power-of-two dimensions); the element-wise ownership handles that
 correctly.
+
+In ``plane`` mode (``machine.transport.planar``) the executor keeps numerics
+but drops the per-owner mask loops: fetches/reductions post their counters
+through the batched per-owner element counts (the same path ``volume`` mode
+uses) while the values move as dense slices, and the local products run as
+stacked GEMMs grouped by cuboid shape (:func:`_batched_products`).  CARMA
+inherits this path through :func:`cuboid_multiply`.
 """
 
 from __future__ import annotations
@@ -119,14 +126,19 @@ def _fetch_block(
     a single batched update -- no per-owner masks are materialized.
     """
     local_owners = owners[rows[0] : rows[1], cols[0] : cols[1]]
-    if machine.transport.counters_only:
+    if machine.transport.counters_only or machine.transport.planar:
         unique, counts = np.unique(local_owners, return_counts=True)
         foreign = unique != receiver
         machine.post_transfers(
             unique[foreign], np.full(int(foreign.sum()), receiver),
             counts[foreign], kind=kind,
         )
-        return machine.zeros((rows[1] - rows[0], cols[1] - cols[0]))
+        if machine.transport.counters_only:
+            return machine.zeros((rows[1] - rows[0], cols[1] - cols[0]))
+        # Plane mode: the assembled block's values equal the dense source
+        # slice (every element is delivered exactly once), so skip the
+        # per-owner masks and hand out a private copy directly.
+        return np.array(source[rows[0] : rows[1], cols[0] : cols[1]])
     block = machine.zeros((rows[1] - rows[0], cols[1] - cols[0]))
     local_values = source[rows[0] : rows[1], cols[0] : cols[1]]
     for owner in np.unique(local_owners):
@@ -137,6 +149,36 @@ def _fetch_block(
         else:
             block[mask] = machine.send(int(owner), receiver, values, kind=kind)
     return block
+
+
+def _batched_products(
+    machine: DistributedMachine,
+    domains: list[CuboidDomain],
+    a_blocks: dict[int, np.ndarray],
+    b_blocks: dict[int, np.ndarray],
+) -> dict[int, np.ndarray]:
+    """Local products as stacked GEMMs, one ``np.matmul`` per cuboid shape.
+
+    CARMA-style recursive decompositions produce only a handful of distinct
+    cuboid shapes, so grouping by shape turns ``p`` Python-level multiplies
+    into a few batched calls; flops are charged per rank exactly as
+    ``local_multiply`` would.
+    """
+    groups: dict[tuple[int, int, int], list[CuboidDomain]] = {}
+    for domain in domains:
+        groups.setdefault(domain.shape, []).append(domain)
+    products: dict[int, np.ndarray] = {}
+    for (lm, ln, lk), members in groups.items():
+        machine.post_flops(
+            np.array([d.rank for d in members], dtype=np.intp), 2 * lm * ln * lk
+        )
+        stacked = np.matmul(
+            np.stack([a_blocks[d.rank] for d in members]),
+            np.stack([b_blocks[d.rank] for d in members]),
+        )
+        for index, domain in enumerate(members):
+            products[domain.rank] = stacked[index]
+    return products
 
 
 def cuboid_multiply(
@@ -180,18 +222,40 @@ def cuboid_multiply(
     # input fetch + local multiplication
     # ------------------------------------------------------------------
     partial_c: dict[int, np.ndarray] = {}
-    for domain in ordered:
-        a_block = _fetch_block(
-            machine, domain.rank, domain.i_range, domain.k_range, a_owners, a_matrix, kind="input"
-        )
-        b_block = _fetch_block(
-            machine, domain.rank, domain.k_range, domain.j_range, b_owners, b_matrix, kind="input"
-        )
-        machine.rank(domain.rank).put("A", a_block)
-        machine.rank(domain.rank).put("B", b_block)
-        product = machine.local_multiply(domain.rank, a_block, b_block)
-        partial_c[domain.rank] = product
-        machine.rank(domain.rank).put("C_partial", product)
+    if machine.transport.planar:
+        # Stacked-array path: fetch all blocks (counters batched per block),
+        # then run the local products as stacked GEMMs grouped by shape.
+        a_blocks: dict[int, np.ndarray] = {}
+        b_blocks: dict[int, np.ndarray] = {}
+        for domain in ordered:
+            a_blocks[domain.rank] = _fetch_block(
+                machine, domain.rank, domain.i_range, domain.k_range,
+                a_owners, a_matrix, kind="input",
+            )
+            b_blocks[domain.rank] = _fetch_block(
+                machine, domain.rank, domain.k_range, domain.j_range,
+                b_owners, b_matrix, kind="input",
+            )
+            machine.rank(domain.rank).put("A", a_blocks[domain.rank])
+            machine.rank(domain.rank).put("B", b_blocks[domain.rank])
+        partial_c = _batched_products(machine, ordered, a_blocks, b_blocks)
+        for domain in ordered:
+            machine.rank(domain.rank).put("C_partial", partial_c[domain.rank])
+    else:
+        for domain in ordered:
+            a_block = _fetch_block(
+                machine, domain.rank, domain.i_range, domain.k_range, a_owners, a_matrix,
+                kind="input",
+            )
+            b_block = _fetch_block(
+                machine, domain.rank, domain.k_range, domain.j_range, b_owners, b_matrix,
+                kind="input",
+            )
+            machine.rank(domain.rank).put("A", a_block)
+            machine.rank(domain.rank).put("B", b_block)
+            product = machine.local_multiply(domain.rank, a_block, b_block)
+            partial_c[domain.rank] = product
+            machine.rank(domain.rank).put("C_partial", product)
 
     # ------------------------------------------------------------------
     # reduce partial C blocks onto the element owners and assemble the result
@@ -202,9 +266,12 @@ def cuboid_multiply(
         j0, j1 = domain.j_range
         block = partial_c[domain.rank]
         local_owners = c_owners[i0:i1, j0:j1]
-        if machine.transport.counters_only:
-            # Token payloads carry no values: post the per-owner element
-            # counts (transfer + accumulation flops) in one batched update.
+        if machine.transport.counters_only or machine.transport.planar:
+            # Post the per-owner element counts (transfer + accumulation
+            # flops) in one batched update -- no per-owner masks.  In plane
+            # mode the values land with one dense accumulate: every element
+            # of the block is added to its output position exactly once, as
+            # the masked per-owner path would.
             unique, counts = np.unique(local_owners, return_counts=True)
             foreign = unique != domain.rank
             machine.post_transfers(
@@ -212,6 +279,8 @@ def cuboid_multiply(
                 counts[foreign], kind="output",
             )
             machine.counters.add_flops(unique[foreign], counts[foreign])
+            if machine.transport.planar:
+                c_global[i0:i1, j0:j1] += block
             continue
         for owner in np.unique(local_owners):
             mask = local_owners == owner

@@ -71,7 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_mult.add_argument("--algorithm", choices=algorithm_choices(), default="COSMA")
     p_mult.add_argument(
         "--mode", choices=list(MODES), default="legacy",
-        help="payload transport; 'volume' counts communication only (no numerics)",
+        help=(
+            "payload transport; 'plane' runs verified numerics on stacked "
+            "arrays, 'volume' counts communication only (no numerics)"
+        ),
     )
     p_mult.add_argument(
         "--compress-rounds", action="store_true",
@@ -105,8 +108,10 @@ def _build_parser() -> argparse.ArgumentParser:
         default="legacy",
         help=(
             "execution mode: 'legacy' copies payloads per hop, 'zerocopy' shares "
-            "read-only views (same numerics, faster), 'volume' simulates counters "
-            "only (no numerics; enables paper-scale processor counts)"
+            "read-only views (same numerics, faster), 'plane' runs verified "
+            "numerics on stacked arrays (fastest numeric mode), 'volume' "
+            "simulates counters only (no numerics; enables paper-scale "
+            "processor counts)"
         ),
     )
 

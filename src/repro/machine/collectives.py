@@ -43,11 +43,13 @@ def _reorder_for_root(ranks: Sequence[int], root: int) -> list[int]:
 
 
 @lru_cache(maxsize=256)
-def _broadcast_hops(q: int) -> tuple[tuple[int, int], ...]:
+def broadcast_hops(q: int) -> tuple[tuple[int, int], ...]:
     """Binomial-tree hops ``(src_pos, dst_pos)`` in send order for ``q`` ranks.
 
     In round ``r``, position ``i < 2**r`` sends to position ``i + 2**r``; each
     non-root position receives exactly once, matching MPI_Bcast's volume.
+    Positions are relative to the root (position 0); plane-mode engines map
+    them onto fiber rank lists to precompute whole-schedule hop arrays.
     """
     hops: list[tuple[int, int]] = []
     span = 1
@@ -62,7 +64,7 @@ def _broadcast_hops(q: int) -> tuple[tuple[int, int], ...]:
 
 
 @lru_cache(maxsize=256)
-def _reduce_hops(q: int) -> tuple[tuple[int, int], ...]:
+def reduce_hops(q: int) -> tuple[tuple[int, int], ...]:
     """Mirror of the broadcast tree: ``(src_pos, dst_pos)`` accumulation hops."""
     hops: list[tuple[int, int]] = []
     span = 1
@@ -77,6 +79,52 @@ def _reduce_hops(q: int) -> tuple[tuple[int, int], ...]:
             hops.append((partner, pos))
         span //= 2
     return tuple(hops)
+
+
+def _post_hops(machine, order, hops, words, kind, combine: bool) -> None:
+    """Post one tree schedule's hops batched; ``combine`` adds reduce flops."""
+    if not hops:
+        return
+    dsts = [order[d] for _, d in hops]
+    machine.post_transfers([order[s] for s, _ in hops], dsts, words, kind=kind)
+    if combine:
+        # One combine per hop, charged to the accumulating rank, exactly as
+        # the per-hop path's local_combine would.
+        machine.counters.add_flops(dsts, words)
+
+
+def post_broadcast(
+    machine: DistributedMachine,
+    root: int,
+    ranks: Sequence[int],
+    words: int,
+    kind: str = "input",
+) -> None:
+    """Counter-only accounting of a binomial broadcast of ``words`` words.
+
+    Posts the exact hop schedule :func:`broadcast` walks (one batched
+    ``post_transfers`` update), without delivering any payload.  Shared by
+    the ``volume`` branch of :func:`broadcast` and the plane-mode engines,
+    which deliver the payload separately via stacked-array gathers.
+    """
+    order = _reorder_for_root(ranks, root)
+    _post_hops(machine, order, broadcast_hops(len(order)), words, kind, combine=False)
+
+
+def post_reduce(
+    machine: DistributedMachine,
+    root: int,
+    ranks: Sequence[int],
+    words: int,
+    kind: str = "output",
+) -> None:
+    """Counter-only accounting of a binomial reduction of ``words``-word blocks.
+
+    Posts :func:`reduce`'s hop schedule plus one combine (``words`` flops)
+    per hop charged to the accumulating rank.
+    """
+    order = _reorder_for_root(ranks, root)
+    _post_hops(machine, order, reduce_hops(len(order)), words, kind, combine=True)
 
 
 def broadcast(
@@ -96,14 +144,9 @@ def broadcast(
     """
     order = _reorder_for_root(ranks, root)
     q = len(order)
-    hops = _broadcast_hops(q)
+    hops = broadcast_hops(q)
     if machine.transport.counters_only and hops:
-        machine.post_transfers(
-            [order[s] for s, _ in hops],
-            [order[d] for _, d in hops],
-            payload_words(block),
-            kind=kind,
-        )
+        _post_hops(machine, order, hops, payload_words(block), kind, combine=False)
         token = ShapeToken(payload_shape(block))
         received: dict[int, np.ndarray] = dict.fromkeys(order, token)
         received[root] = payload_view(block)
@@ -135,7 +178,7 @@ def reduce(
     for r in order:
         if r not in blocks:
             raise ValueError(f"rank {r} has no block to reduce")
-    hops = _reduce_hops(q)
+    hops = reduce_hops(q)
     if machine.transport.counters_only:
         # Shape compatibility is still enforced exactly where the per-hop
         # path's local_combine would raise.
@@ -145,12 +188,7 @@ def reduce(
                 raise ValueError(
                     f"shape mismatch in local_add: {shape} vs {payload_shape(blocks[r])}"
                 )
-        if hops:
-            words = payload_words(blocks[root])
-            dsts = [order[d] for _, d in hops]
-            machine.post_transfers([order[s] for s, _ in hops], dsts, words, kind=kind)
-            # One combine per hop, charged to the accumulating rank.
-            machine.counters.add_flops(dsts, words)
+        _post_hops(machine, order, hops, payload_words(blocks[root]), kind, combine=True)
         return machine.transport.clone(blocks[root])
     partial: dict[int, np.ndarray] = {r: machine.transport.clone(blocks[r]) for r in order}
     for s, d in hops:

@@ -31,6 +31,16 @@ across modes because accounting only ever reads payload shapes:
     Preserves numerics bit-for-bit (receivers only read payloads; writers
     that would violate MPI no-aliasing semantics raise); eliminates the
     per-hop payload copies.
+``plane``
+    The stacked-array numeric engine: per-payload deliveries behave like
+    ``zerocopy`` (so unported algorithms run unchanged), but opted-in
+    algorithms keep each logical operand in a
+    :class:`~repro.machine.transport.PayloadPlane` registered per-name on
+    the machine (:meth:`DistributedMachine.register_plane`) and execute
+    collectives/multiplies/reductions as whole-stack numpy operations while
+    posting counters through the same batched path as ``volume`` mode.
+    Preserves numerics (results verify) at a large fraction of volume-mode
+    speed.
 ``volume``
     Payloads are :class:`~repro.machine.transport.ShapeToken` shape
     descriptors with no numpy allocation at all; local multiplies update only
@@ -61,6 +71,7 @@ from repro.machine.counters import (
 )
 from repro.machine.topology import MachineSpec, laptop_spec
 from repro.machine.transport import (
+    PayloadPlane,
     ShapeToken,
     Transport,
     is_token,
@@ -190,6 +201,9 @@ class DistributedMachine:
         self.peak_resident_words = 0
         #: Log of (round_label, participating_ranks) entries, useful for debugging.
         self.round_log: list[str] = []
+        #: Named :class:`~repro.machine.transport.PayloadPlane` stacks
+        #: registered by plane-mode algorithms (one per logical operand).
+        self.planes: dict[str, PayloadPlane] = {}
 
     # ------------------------------------------------------------------
     # basic rank access
@@ -210,6 +224,41 @@ class DistributedMachine:
     def zeros(self, shape: Sequence[int]):
         """A zero-initialized local payload (an array, or a token in volume mode)."""
         return self.transport.zeros(shape)
+
+    # ------------------------------------------------------------------
+    # payload planes (stacked-array numeric engine)
+    # ------------------------------------------------------------------
+    def register_plane(
+        self, name: str, plane: PayloadPlane, replace: bool = False
+    ) -> PayloadPlane:
+        """Register a named operand plane (one per logical operand per run).
+
+        Planes are per-run state.  Algorithms register their own operands
+        with ``replace=True`` so a machine reused for a second plane-mode
+        run (counters accumulating, like every other transport) simply
+        supersedes the previous run's planes; registering a foreign name
+        twice without ``replace`` is an error.
+        """
+        if name in self.planes and not replace:
+            raise ValueError(f"plane {name!r} is already registered")
+        self.planes[name] = plane
+        return plane
+
+    def clear_planes(self) -> None:
+        """Drop every registered operand plane (machine reuse)."""
+        self.planes.clear()
+
+    def new_plane(self, name: str, shape: Sequence[int]) -> PayloadPlane:
+        """Allocate and register a zero-initialized ``(slots, rows, cols)`` plane."""
+        return self.register_plane(name, PayloadPlane(name, shape=shape), replace=True)
+
+    def get_plane(self, name: str) -> PayloadPlane:
+        return self.planes[name]
+
+    def post_flops(self, ranks, amounts) -> None:
+        """Batched flop accounting: the plane-mode counterpart of the per-rank
+        flop updates done by :meth:`local_multiply` / :meth:`local_add`."""
+        self.counters.add_flops(ranks, amounts)
 
     # ------------------------------------------------------------------
     # point-to-point communication
@@ -453,3 +502,4 @@ class DistributedMachine:
             self.compressor.clear()
         self.peak_resident_words = 0
         self.round_log.clear()
+        self.clear_planes()

@@ -18,6 +18,20 @@ three interchangeable transports:
     collective disappear.  Any attempt to write through a delivered view
     raises, which keeps MPI no-aliasing semantics enforceable for writers.
 
+``plane``
+    The stacked-array numeric engine.  Deliveries behave exactly like
+    ``zerocopy`` (shared read-only views), so every algorithm runs
+    unmodified; algorithms that *opt in* (``machine.transport.planar``)
+    additionally keep each logical operand (A-panels, B-panels, C-partials)
+    in one dense stacked array with a leading participant axis -- a
+    :class:`PayloadPlane` -- so a collective delivery becomes a fancy-indexed
+    gather into the plane, a round's local multiplies become one batched
+    ``np.matmul`` over the stack, and output reductions become a single
+    ``np.add.reduce`` over plane slices.  Counter accounting rides the same
+    batched ``post_transfers``/``CounterMatrix`` path as ``volume`` mode, so
+    counters stay byte-identical to the other modes while numerics (and
+    result verification) are preserved.
+
 ``volume``
     Payloads are :class:`ShapeToken` objects: lightweight shape descriptors
     with no numpy allocation at all.  Local multiplies update only the flop
@@ -41,7 +55,10 @@ from typing import Sequence
 import numpy as np
 
 #: The supported execution modes, in "most faithful" to "fastest" order.
-MODES = ("legacy", "zerocopy", "volume")
+MODES = ("legacy", "zerocopy", "plane", "volume")
+
+#: Modes that carry real numerics (result verification is possible).
+NUMERIC_MODES = ("legacy", "zerocopy", "plane")
 
 
 class ShapeToken:
@@ -91,11 +108,19 @@ class ShapeToken:
     # -- indexing ---------------------------------------------------------
     def __getitem__(self, key) -> "ShapeToken":
         if isinstance(key, np.ndarray) and key.dtype == np.bool_:
-            if key.shape != self.shape:
+            # Numpy semantics: the mask covers the *leading* axes (which it
+            # must match exactly) and those axes collapse into one axis of
+            # extent count_nonzero(mask); trailing axes -- the masked row
+            # structure -- are preserved.  A full-shape mask therefore
+            # flattens to 1-D, a 1-D mask on a 2-D token keeps the row width.
+            if key.ndim > self.ndim or key.shape != self.shape[: key.ndim]:
                 raise IndexError(
-                    f"boolean mask of shape {key.shape} does not match token shape {self.shape}"
+                    f"boolean mask of shape {key.shape} does not match the "
+                    f"leading axes of token shape {self.shape}"
                 )
-            return ShapeToken((int(np.count_nonzero(key)),))
+            return ShapeToken(
+                (int(np.count_nonzero(key)),) + self.shape[key.ndim :]
+            )
         if not isinstance(key, tuple):
             key = (key,)
         if any(entry is Ellipsis for entry in key):
@@ -168,15 +193,22 @@ def is_token(block) -> bool:
 
 
 def payload_words(block) -> int:
-    """Number of words a payload occupies (mode-agnostic)."""
-    if isinstance(block, ShapeToken):
-        return block.size
+    """Number of words a payload occupies (mode-agnostic).
+
+    This sits on the hot accounting path (every ``send``, every ``put``);
+    arrays and tokens both expose ``.size`` directly, so the ``np.asarray``
+    round-trip is reserved for plain Python sequences.
+    """
+    size = getattr(block, "size", None)
+    if size is not None:
+        return int(size)
     return int(np.asarray(block).size)
 
 
 def payload_shape(block) -> tuple[int, ...]:
-    if isinstance(block, ShapeToken):
-        return block.shape
+    shape = getattr(block, "shape", None)
+    if shape is not None:
+        return tuple(shape)
     return tuple(np.asarray(block).shape)
 
 
@@ -219,6 +251,72 @@ def concat_payloads(parts: Sequence, axis: int = 0):
     return ShapeToken(base)
 
 
+class PayloadPlane:
+    """One logical operand stored as a dense stacked array with a leading axis.
+
+    ``data`` has shape ``(slots, rows, cols)``: each slot is one 2-D sheet of
+    the operand (one rank's block, or one reduction layer shared by a fiber
+    of ranks).  A rank's handle on the operand is a rectangular *view* into a
+    sheet (:meth:`attach` / :meth:`block`), so rank stores and memory
+    accounting see ordinary per-rank payloads while the engine operates on
+    the whole stack at once:
+
+    * collective delivery = fancy-indexed / strided gather into ``data``;
+    * per-round local multiplies = one batched ``np.matmul`` over the
+      leading axis;
+    * output reduction = a single ``np.add.reduce`` over slot slices
+      (:meth:`reduce_slots`).
+
+    Planes are registered per-name on the machine
+    (:meth:`~repro.machine.simulator.DistributedMachine.register_plane`);
+    sheets may be zero-padded to a uniform shape -- padding rows/columns stay
+    zero and therefore never contribute to a product or a reduction, while
+    all counter accounting is derived from the attached views' true shapes.
+    """
+
+    __slots__ = ("name", "data", "_views")
+
+    def __init__(self, name: str, shape: Sequence[int] | None = None,
+                 data: np.ndarray | None = None) -> None:
+        if (shape is None) == (data is None):
+            raise ValueError("PayloadPlane needs exactly one of shape= or data=")
+        if data is None:
+            data = np.zeros(tuple(int(extent) for extent in shape))
+        if data.ndim != 3:
+            raise ValueError(f"a plane is a stack of 2-D sheets, got shape {data.shape}")
+        self.name = str(name)
+        self.data = data
+        #: rank -> (slot, row slice, column slice)
+        self._views: dict[int, tuple[int, slice, slice]] = {}
+
+    @property
+    def slots(self) -> int:
+        return int(self.data.shape[0])
+
+    def attach(self, rank: int, slot: int, rows: slice = slice(None),
+               cols: slice = slice(None)) -> np.ndarray:
+        """Declare ``rank``'s block to be ``data[slot][rows, cols]``; return the view."""
+        if not 0 <= int(slot) < self.slots:
+            raise IndexError(f"slot {slot} out of range for plane with {self.slots} slots")
+        self._views[int(rank)] = (int(slot), rows, cols)
+        return self.block(rank)
+
+    def block(self, rank: int) -> np.ndarray:
+        """The (true-shape, writable) view of ``rank``'s block."""
+        slot, rows, cols = self._views[int(rank)]
+        return self.data[slot][rows, cols]
+
+    def attached_ranks(self) -> tuple[int, ...]:
+        return tuple(self._views)
+
+    def reduce_slots(self) -> np.ndarray:
+        """Sum the stacked sheets: one ``np.add.reduce`` over the slot axis."""
+        return np.add.reduce(self.data, axis=0)
+
+    def __repr__(self) -> str:
+        return f"PayloadPlane({self.name!r}, shape={self.data.shape})"
+
+
 class Transport:
     """Delivery policy for payloads moved through the machine.
 
@@ -230,6 +328,11 @@ class Transport:
     mode = "legacy"
     #: True when payloads carry no numerics (result verification impossible).
     counters_only = False
+    #: True when algorithms should take their stacked-array (plane) fast
+    #: path: counters posted batched, numerics on :class:`PayloadPlane`
+    #: stacks.  Algorithms without a plane path simply ignore the flag and
+    #: fall back to the per-hop delivery semantics of the transport.
+    planar = False
 
     def deliver(self, block):
         """The buffer the receiver of a counted transfer obtains."""
@@ -284,6 +387,20 @@ class ZeroCopyTransport(Transport):
         return np.zeros(tuple(shape))
 
 
+class PlaneTransport(ZeroCopyTransport):
+    """Stacked-array numeric engine: zerocopy semantics + the planar fast path.
+
+    Per-payload behaviour is identical to :class:`ZeroCopyTransport` (shared
+    read-only deliveries), which is what makes the mode a transparent
+    fallback for algorithms without a plane path.  Opted-in algorithms see
+    :attr:`planar` and route storage through :class:`PayloadPlane` stacks,
+    posting their counters through the same batched path as ``volume`` mode.
+    """
+
+    mode = "plane"
+    planar = True
+
+
 class VolumeTransport(Transport):
     """Counters-only payloads: deliveries are shape tokens, never arrays."""
 
@@ -305,6 +422,7 @@ class VolumeTransport(Transport):
 _TRANSPORTS = {
     "legacy": LegacyTransport,
     "zerocopy": ZeroCopyTransport,
+    "plane": PlaneTransport,
     "volume": VolumeTransport,
 }
 

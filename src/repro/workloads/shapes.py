@@ -14,11 +14,50 @@ for ``w`` water molecules ``m = n = 136 w`` and ``k = 228 w^2``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.utils.validation import check_positive_int
+
+#: Total words the input-matrix cache may pin (~0.5 GB of float64); evicted
+#: least-recently-used first so multi-shape campaigns stay bounded.
+_MATRIX_CACHE_MAX_WORDS = 1 << 26
+_MATRIX_CACHE: "OrderedDict[tuple, tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+_MATRIX_CACHE_WORDS = 0
+
+
+def _cached_matrices(shape: "ProblemShape", seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic input matrices, cached (footprint-bounded) and read-only.
+
+    Sweeps and benchmark harnesses run the same (shape, seed) point once per
+    algorithm and once per transport mode; regenerating identical gigaword
+    matrices dominates small runs.  The cache hands out the same arrays each
+    time, marked read-only so one run cannot contaminate another -- callers
+    that need a private writable copy must ``.copy()``.  Entries are evicted
+    least-recently-used once the cached inputs exceed ~0.5 GB, so campaigns
+    over many distinct large shapes do not pin dead arrays.
+    """
+    global _MATRIX_CACHE_WORDS
+    key = (shape, int(seed))
+    hit = _MATRIX_CACHE.get(key)
+    if hit is not None:
+        _MATRIX_CACHE.move_to_end(key)
+        return hit
+    rng = np.random.default_rng(seed)
+    a_matrix = rng.standard_normal((shape.m, shape.k))
+    b_matrix = rng.standard_normal((shape.k, shape.n))
+    a_matrix.setflags(write=False)
+    b_matrix.setflags(write=False)
+    words = a_matrix.size + b_matrix.size
+    if words <= _MATRIX_CACHE_MAX_WORDS:
+        _MATRIX_CACHE[key] = (a_matrix, b_matrix)
+        _MATRIX_CACHE_WORDS += words
+        while _MATRIX_CACHE_WORDS > _MATRIX_CACHE_MAX_WORDS:
+            _, (old_a, old_b) = _MATRIX_CACHE.popitem(last=False)
+            _MATRIX_CACHE_WORDS -= old_a.size + old_b.size
+    return a_matrix, b_matrix
 
 
 @dataclass(frozen=True)
@@ -59,11 +98,12 @@ class ProblemShape:
         )
 
     def random_matrices(self, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
-        """Generate reproducible random input matrices for this shape."""
-        rng = np.random.default_rng(seed)
-        a_matrix = rng.standard_normal((self.m, self.k))
-        b_matrix = rng.standard_normal((self.k, self.n))
-        return a_matrix, b_matrix
+        """Reproducible random input matrices for this shape.
+
+        The arrays are cached per ``(shape, seed)`` and returned *read-only*
+        (copy before mutating); algorithms only ever read their inputs.
+        """
+        return _cached_matrices(self, int(seed))
 
 
 def square_shape(n: int) -> ProblemShape:

@@ -1,18 +1,22 @@
-"""Counter-parity regression tests for the execution modes.
+"""Counter- and numeric-parity regression tests for the execution modes.
 
 The whole point of the fast-path transports is that the *numbers the paper
 reports* -- words, messages, rounds, the input/output split -- are a function
 of payload shapes only.  Every algorithm must therefore produce byte-identical
-per-rank :class:`~repro.machine.counters.RankCounters` under legacy, zerocopy
-and volume transports on every scenario.
+per-rank :class:`~repro.machine.counters.RankCounters` under legacy, zerocopy,
+plane and volume transports on every scenario; the numeric modes (legacy,
+zerocopy, plane) must additionally agree on the product itself -- the plane
+engine's stacked GEMMs associate sums differently, so its products are
+``np.allclose`` to the reference rather than bitwise equal.
 """
 
+import numpy as np
 import pytest
 
 from repro.experiments.harness import ALGORITHMS, run_algorithm
 from repro.machine.counters import ConservationError
 from repro.machine.simulator import DistributedMachine
-from repro.machine.transport import MODES, ShapeToken
+from repro.machine.transport import MODES, NUMERIC_MODES, ShapeToken
 from repro.workloads.scaling import (
     Scenario,
     extra_memory_sweep,
@@ -22,7 +26,8 @@ from repro.workloads.scaling import (
 from repro.workloads.shapes import square_shape
 
 
-def _per_rank_counters(name: str, scenario: Scenario, mode: str):
+def _run_mode(name: str, scenario: Scenario, mode: str):
+    """Per-rank counters, the product, and the peak footprint of one run."""
     machine = DistributedMachine(scenario.p, memory_words=scenario.memory_words, mode=mode)
     if mode == "volume":
         a, b = ShapeToken((scenario.shape.m, scenario.shape.k)), ShapeToken(
@@ -30,8 +35,13 @@ def _per_rank_counters(name: str, scenario: Scenario, mode: str):
         )
     else:
         a, b = scenario.shape.random_matrices(seed=0)
-    ALGORITHMS[name](a, b, scenario, machine)
-    return [rank.counters.copy() for rank in machine.ranks]
+    product = ALGORITHMS[name](a, b, scenario, machine)
+    counters = [rank.counters.copy() for rank in machine.ranks]
+    return counters, product, machine.peak_resident_words
+
+
+def _per_rank_counters(name: str, scenario: Scenario, mode: str):
+    return _run_mode(name, scenario, mode)[0]
 
 
 SCENARIO_GRID = (
@@ -50,6 +60,32 @@ def test_counters_identical_across_modes(name, scenario):
     for mode in MODES[1:]:
         counters = _per_rank_counters(name, scenario, mode)
         assert counters == reference, f"{name} counters diverge in {mode} mode"
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+@pytest.mark.parametrize("scenario", SCENARIO_GRID, ids=lambda s: s.name)
+def test_numeric_modes_agree_with_reference_product(name, scenario):
+    """Every numeric mode's product must match A @ B; counters stay identical.
+
+    This is the plane engine's core contract: full result verification with
+    counters byte-for-byte equal to the per-hop reference execution.
+    """
+    a, b = scenario.shape.random_matrices(seed=0)
+    expected = a @ b
+    reference_counters, reference_product, reference_peak = _run_mode(
+        name, scenario, "legacy"
+    )
+    assert np.allclose(reference_product, expected, atol=1e-8 * scenario.shape.k)
+    for mode in NUMERIC_MODES[1:]:
+        counters, product, peak = _run_mode(name, scenario, mode)
+        assert np.allclose(product, expected, atol=1e-8 * scenario.shape.k), (
+            f"{name} product diverges from A @ B in {mode} mode"
+        )
+        assert np.allclose(product, reference_product, atol=1e-8 * scenario.shape.k), (
+            f"{name} product diverges from the legacy product in {mode} mode"
+        )
+        assert counters == reference_counters
+        assert peak == reference_peak, f"{name} peak footprint diverges in {mode} mode"
 
 
 @pytest.mark.parametrize("mode", MODES)
@@ -90,6 +126,57 @@ class TestConservationAssertion:
         scenario = limited_memory_sweep("square", [4], 2048)[0]
         run = run_algorithm("COSMA", scenario)
         assert run.correct
+
+
+class TestPlaneEngine:
+    """Plane-mode specifics: registered planes, verified harness runs."""
+
+    def test_cosma_registers_operand_planes(self):
+        scenario = limited_memory_sweep("square", [9], 2048)[0]
+        machine = DistributedMachine(
+            scenario.p, memory_words=scenario.memory_words, mode="plane"
+        )
+        a, b = scenario.shape.random_matrices(seed=0)
+        ALGORITHMS["COSMA"](a, b, scenario, machine)
+        assert set(machine.planes) == {"cosma.A", "cosma.B", "cosma.C"}
+        # The C plane stacks one sheet per k-layer; ranks hold views into it.
+        c_plane = machine.get_plane("cosma.C")
+        assert c_plane.data.shape[1:] == (scenario.shape.m, scenario.shape.n)
+        rank = c_plane.attached_ranks()[0]
+        assert np.shares_memory(c_plane.block(rank), c_plane.data)
+
+    def test_plane_harness_run_is_verified(self):
+        scenario = limited_memory_sweep("square", [9], 2048)[0]
+        run = run_algorithm("COSMA", scenario, mode="plane")
+        assert run.mode == "plane"
+        assert run.verified and run.correct
+        volume = run_algorithm("COSMA", scenario, mode="volume")
+        assert run.mean_words_per_rank == volume.mean_words_per_rank
+        assert run.total_flops == volume.total_flops
+
+    def test_plane_machine_reuse_accumulates_like_other_modes(self):
+        """A second run on the same plane-mode machine supersedes its planes."""
+        scenario = limited_memory_sweep("square", [4], 2048)[0]
+        machine = DistributedMachine(
+            scenario.p, memory_words=scenario.memory_words, mode="plane"
+        )
+        a, b = scenario.shape.random_matrices(seed=0)
+        ALGORITHMS["COSMA"](a, b, scenario, machine)
+        once = machine.counters.total_words_sent
+        product = ALGORITHMS["COSMA"](a, b, scenario, machine)
+        assert machine.counters.total_words_sent == 2 * once
+        assert np.allclose(product, a @ b, atol=1e-8 * scenario.shape.k)
+
+    def test_unported_algorithm_falls_back_transparently(self):
+        """An extension registered without a plane path must run unchanged."""
+        import repro.extensions.allgather  # noqa: F401 - self-registers
+
+        scenario = limited_memory_sweep("square", [4], 4096)[0]
+        legacy = run_algorithm("AllGather1D", scenario, mode="legacy")
+        plane = run_algorithm("AllGather1D", scenario, mode="plane")
+        assert plane.correct and plane.verified
+        assert plane.mean_words_per_rank == legacy.mean_words_per_rank
+        assert plane.rounds == legacy.rounds
 
 
 def test_volume_mode_reaches_scales_legacy_cannot():

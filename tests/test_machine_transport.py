@@ -8,9 +8,11 @@ from repro.machine.counters import COUNTER_FIELDS, CommCounters, ConservationErr
 from repro.machine.simulator import DistributedMachine
 from repro.machine.transport import (
     MODES,
+    PayloadPlane,
     ShapeToken,
     concat_payloads,
     make_transport,
+    payload_shape,
     payload_words,
 )
 
@@ -41,9 +43,34 @@ class TestShapeToken:
         mask[1, :3] = True
         assert token[mask].shape == (3,)
 
+    def test_boolean_mask_preserves_row_structure(self):
+        """A leading-axes mask keeps the trailing axes, exactly like numpy.
+
+        Regression test: full-shape masks flatten to 1-D (numpy semantics),
+        but a 1-D mask on a 2-D token used to be rejected -- and a silent
+        flatten here would hand downstream code a block with the masked row
+        structure stripped off.
+        """
+        token = ShapeToken((5, 7))
+        row_mask = np.array([True, False, True, False, True])
+        assert token[row_mask].shape == (3, 7)
+        reference = np.zeros((5, 7))[row_mask]
+        assert token[row_mask].shape == reference.shape
+        cube = ShapeToken((4, 5, 6))
+        plane_mask = np.zeros((4, 5), dtype=bool)
+        plane_mask[0, :2] = True
+        assert cube[plane_mask].shape == (2, 6)
+        assert cube[plane_mask].shape == np.zeros((4, 5, 6))[plane_mask].shape
+
     def test_boolean_mask_shape_mismatch(self):
         with pytest.raises(IndexError):
             ShapeToken((4, 4))[np.ones((2, 2), dtype=bool)]
+        # Leading-axes masks must match those axes exactly, like numpy.
+        with pytest.raises(IndexError):
+            ShapeToken((4, 4))[np.ones(3, dtype=bool)]
+        # A mask with more axes than the token has is always an error.
+        with pytest.raises(IndexError):
+            ShapeToken((4,))[np.ones((4, 4), dtype=bool)]
 
     def test_setitem_checks_shapes(self):
         token = ShapeToken((6, 6))
@@ -235,7 +262,81 @@ class TestIncrementalAccounting:
             counters.assert_conservation()
 
 
+class TestPayloadPlane:
+    def test_attach_and_block_views(self):
+        plane = PayloadPlane("ops.A", shape=(2, 4, 6))
+        view = plane.attach(rank=3, slot=1, rows=slice(0, 2), cols=slice(1, 4))
+        assert view.shape == (2, 3)
+        view[...] = 7.0
+        assert plane.data[1, 0:2, 1:4].sum() == 7.0 * 6
+        assert plane.block(3) is not view  # fresh view, same storage
+        assert np.shares_memory(plane.block(3), plane.data)
+        assert plane.attached_ranks() == (3,)
+
+    def test_reduce_slots_sums_sheets(self):
+        plane = PayloadPlane("ops.C", shape=(3, 2, 2))
+        plane.data[0] = 1.0
+        plane.data[2] = 2.0
+        assert np.array_equal(plane.reduce_slots(), np.full((2, 2), 3.0))
+
+    def test_wrapping_existing_data(self):
+        base = np.arange(12.0).reshape(1, 3, 4)
+        plane = PayloadPlane("ops.B", data=base)
+        assert plane.slots == 1
+        assert np.shares_memory(plane.data, base)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            PayloadPlane("x")
+        with pytest.raises(ValueError):
+            PayloadPlane("x", shape=(2, 2))  # sheets must be 2-D stacks
+        with pytest.raises(IndexError):
+            PayloadPlane("x", shape=(2, 2, 2)).attach(0, slot=5)
+
+    def test_machine_plane_registry(self):
+        machine = DistributedMachine(2, mode="plane")
+        plane = machine.new_plane("C", (2, 3, 3))
+        assert machine.get_plane("C") is plane
+        with pytest.raises(ValueError):
+            machine.register_plane("C", plane)
+        machine.reset_counters()
+        assert machine.planes == {}
+
+
+class TestPlaneTransportFallback:
+    """Unported algorithms must see exact zerocopy semantics in plane mode."""
+
+    def test_deliveries_are_shared_readonly_views(self):
+        machine = DistributedMachine(2, mode="plane")
+        assert machine.transport.planar
+        assert not machine.transport.counters_only
+        block = np.ones((3, 3))
+        delivered = machine.send(0, 1, block)
+        assert np.shares_memory(delivered, block)
+        assert not delivered.flags.writeable
+
+    def test_collectives_run_per_hop(self):
+        machine = DistributedMachine(4, mode="plane")
+        received = broadcast(machine, 0, [0, 1, 2, 3], np.ones((2, 2)))
+        assert set(received) == {0, 1, 2, 3}
+        assert machine.counters.total_words_sent == 3 * 4  # binomial tree
+
+
+def test_payload_words_reads_size_attribute_directly():
+    array = np.ones((7, 3))
+    assert payload_words(array) == 21
+    assert payload_shape(array) == (7, 3)
+    assert payload_words(ShapeToken((7, 3))) == 21
+    # Plain sequences still take the asarray path.
+    assert payload_words([[1.0, 2.0], [3.0, 4.0]]) == 4
+    assert payload_shape([[1.0, 2.0], [3.0, 4.0]]) == (2, 2)
+
+
 def test_modes_constant_matches_transports():
-    assert MODES == ("legacy", "zerocopy", "volume")
+    assert MODES == ("legacy", "zerocopy", "plane", "volume")
     for mode in MODES:
         assert make_transport(mode).mode == mode
+    # Only the plane transport advertises the stacked-array fast path, and
+    # only the volume transport drops numerics.
+    assert [make_transport(m).planar for m in MODES] == [False, False, True, False]
+    assert [make_transport(m).counters_only for m in MODES] == [False, False, False, True]

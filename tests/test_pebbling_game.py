@@ -118,6 +118,61 @@ class TestRunAndCompleteness:
         assert result.moves_executed == 1
 
 
+class TestVectorizedRun:
+    """The array-based run path must match move-by-move execution exactly."""
+
+    @staticmethod
+    def _long_schedule(chain):
+        # > 32 moves so run() takes the vectorized path; includes idempotent
+        # loads, a free/reload cycle, and no-op frees on unknown vertices.
+        moves = []
+        for _ in range(12):
+            moves += [
+                PebbleMove(Move.LOAD, "x"),
+                PebbleMove(Move.COMPUTE, "y"),
+                PebbleMove(Move.COMPUTE, "z"),
+                PebbleMove(Move.STORE, "z"),
+                PebbleMove(Move.FREE_RED, "y"),
+                PebbleMove(Move.FREE_RED, "ghost"),
+            ]
+        return moves
+
+    def test_matches_sequential_execution(self, chain):
+        moves = self._long_schedule(chain)
+        vectorized = PebbleGame(chain, red_pebbles=3)
+        result = vectorized.run(moves)
+        reference = PebbleGame(chain, red_pebbles=3)
+        reference._run_sequential(moves)
+        expected = reference.finish()
+        assert (result.loads, result.stores, result.computes) == (
+            expected.loads, expected.stores, expected.computes
+        )
+        assert result.max_red_in_use == expected.max_red_in_use
+        assert result.moves_executed == expected.moves_executed == len(moves)
+        assert result.complete and expected.complete
+        assert vectorized.red == reference.red
+        assert vectorized.blue == reference.blue
+        assert vectorized.computed == reference.computed
+
+    def test_illegal_schedule_raises_like_sequential(self, chain):
+        moves = self._long_schedule(chain)
+        moves.insert(40, PebbleMove(Move.COMPUTE, "z"))
+        moves.insert(40, PebbleMove(Move.FREE_RED, "y"))  # kills z's parent
+        with pytest.raises(IllegalMoveError, match="parents without red pebbles"):
+            PebbleGame(chain, red_pebbles=3).run(moves)
+
+    def test_capacity_violation_detected(self, chain):
+        moves = self._long_schedule(chain)
+        with pytest.raises(IllegalMoveError, match="cannot place another red pebble"):
+            PebbleGame(chain, red_pebbles=2).run(moves)
+
+    def test_unknown_vertex_in_long_schedule(self, chain):
+        moves = self._long_schedule(chain)
+        moves.append(PebbleMove(Move.LOAD, "nope"))
+        with pytest.raises(KeyError):
+            PebbleGame(chain, red_pebbles=3).run(moves)
+
+
 class TestNaivePebbling:
     def test_chain(self, chain):
         result = naive_pebbling(chain, red_pebbles=3)
