@@ -3,6 +3,8 @@
 #   make verify       - tier-1 test suite
 #   make lint         - ruff check (config in pyproject.toml; skipped when absent)
 #   make sweep-smoke  - tiny 4-point sweep campaign through the engine (--jobs 2)
+#   make chaos        - deterministic fault-injection suite (crashes, hangs,
+#                       transients, torn writes; writes CHAOS_quarantine.json)
 #   make bench        - full paper figure/table benchmark suite
 #   make bench-sweep  - sweep-engine timing benchmark (writes BENCH_sweep.json)
 #   make bench-smoke  - paper-scale regression gate + reduced-scale fast-path
@@ -11,7 +13,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint sweep-smoke bench bench-sweep bench-smoke
+.PHONY: verify lint sweep-smoke chaos bench bench-sweep bench-smoke
 
 verify:
 	$(PY) -m pytest -x -q
@@ -26,6 +28,9 @@ lint:
 sweep-smoke:
 	$(PY) -m repro sweep --families square --regimes limited --processors 4 9 \
 		--algorithms COSMA CARMA --mode volume --jobs 2 --out .sweep-cache/smoke
+
+chaos:
+	REPRO_CHAOS_REPORT=CHAOS_quarantine.json $(PY) -m pytest tests/test_sweeps_chaos.py -q
 
 bench:
 	$(PY) -m pytest benchmarks/bench_*.py -s

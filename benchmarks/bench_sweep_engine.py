@@ -6,13 +6,19 @@ Times the same 80-run campaign (2 shape families x 2 weak-scaling regimes x
 * **serial** -- fresh store, ``jobs=1``;
 * **parallel** -- fresh store, ``jobs=4`` worker processes;
 * **warm cache** -- rerun of the serial campaign against its populated store
-  (every key resolves without executing).
+  (every key resolves without executing);
+* **faulted** -- fresh store, ``jobs=4``, under a deterministic
+  :class:`~repro.sweeps.faults.FaultPlan` injecting worker crashes,
+  transient errors and torn/duplicated store writes at >= 20% of runs
+  (recovery overhead of the supervisor's retry machinery).
 
 and asserts the engine's contract: serial and parallel campaigns aggregate to
 byte-identical tidy rows, the warm rerun costs < 10% of the cold serial time,
-and (on machines with >= 2 cores) the parallel campaign is >= 1.5x faster
-than the serial one.  Results are written to ``BENCH_sweep.json`` in the
-repository root::
+(on machines with >= 2 cores) the parallel campaign is >= 1.5x faster
+than the serial one, and the faulted campaign's ok-records are byte-identical
+to the serial ones (the chaos invariant, also gated by
+``check_bench_regression.py``).  Results are written to ``BENCH_sweep.json``
+in the repository root::
 
     pytest benchmarks/bench_sweep_engine.py -s
     # or, without pytest:
@@ -27,7 +33,15 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.sweeps import ResultStore, SweepSpec, rows_to_json, run_campaign, tidy_rows
+from repro.sweeps import (
+    FaultPlan,
+    ResultStore,
+    RetryPolicy,
+    SweepSpec,
+    rows_to_json,
+    run_campaign,
+    tidy_rows,
+)
 
 #: The shared campaign grid: 16 scenarios x 5 algorithms = 80 volume-mode runs.
 GRID = SweepSpec(
@@ -41,6 +55,15 @@ GRID = SweepSpec(
 )
 
 PARALLEL_JOBS = 4
+
+#: Deterministic chaos plan for the faulted row: crashes, transients and
+#: store write faults (no hangs -- a hang row would time the deadline, not
+#: the engine) at >= 20% of the grid's runs.
+FAULTS = FaultPlan(
+    seed=1, crash_rate=0.08, transient_rate=0.10,
+    torn_write_rate=0.05, duplicate_write_rate=0.05,
+)
+FAULT_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.01, jitter_s=0.005)
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
@@ -72,6 +95,21 @@ def run_sweep_engine_benchmark() -> dict:
 
     warm_s, warm_records = _timed_campaign(1, serial_store)
 
+    fault_rate = FAULTS.faulted_fraction(request.key for request in GRID.expand())
+    faulted_store = ResultStore(tmp / "faulted")
+    faulted_start = time.perf_counter()
+    faulted = run_campaign(
+        GRID, store=faulted_store, jobs=PARALLEL_JOBS,
+        faults=FAULTS, retry=FAULT_RETRY,
+    )
+    faulted_s = time.perf_counter() - faulted_start
+    assert faulted.failed == 0, faulted.failed_records
+
+    def _ok_bytes(records):
+        return json.dumps(
+            [r for r in records if r.get("status") == "ok"], sort_keys=True,
+        )
+
     serial_rows = rows_to_json(tidy_rows(serial_records))
     total_runs = len(serial_records)
     report = {
@@ -90,11 +128,20 @@ def run_sweep_engine_benchmark() -> dict:
             "serial": round(serial_s, 4),
             "parallel": round(parallel_s, 4),
             "warm_cache": round(warm_s, 4),
+            "faulted": round(faulted_s, 4),
         },
         "parallel_speedup_vs_serial": round(serial_s / parallel_s, 2) if parallel_s > 0 else None,
         "warm_cache_fraction_of_serial": round(warm_s / serial_s, 4) if serial_s > 0 else None,
         "rows_identical_serial_vs_parallel": rows_to_json(tidy_rows(parallel_records)) == serial_rows,
         "rows_identical_serial_vs_warm": rows_to_json(tidy_rows(warm_records)) == serial_rows,
+        # Recovery overhead of retrying ~20% injected faults, vs the clean
+        # parallel campaign over the same grid and worker count.
+        "fault_rate": round(fault_rate, 4),
+        "faulted_retries": faulted.retried,
+        "faulted_recovery_overhead_vs_parallel": (
+            round(faulted_s / parallel_s, 2) if parallel_s > 0 else None
+        ),
+        "faulted_ok_records_identical": _ok_bytes(faulted.records) == _ok_bytes(serial_records),
         # The parallel-speedup assertion needs >= 2 cores; record explicitly
         # when it was skipped so a 1-core CI box cannot silently drop it.
         "parallel_assert": "checked" if cores >= 2 else f"skipped(cores={cores})",
@@ -111,6 +158,9 @@ def test_sweep_engine():
     assert report["grid"]["runs"] == 80
     assert report["rows_identical_serial_vs_parallel"], "parallel campaign changed the aggregated rows"
     assert report["rows_identical_serial_vs_warm"], "cached rerun changed the aggregated rows"
+    assert report["fault_rate"] >= 0.2, "the chaos plan must fault >= 20% of runs"
+    assert report["faulted_retries"] > 0, "the chaos plan never actually fired"
+    assert report["faulted_ok_records_identical"], "ok-record bytes drifted under faults"
     seconds = report["seconds"]
     # Warm reruns answer everything from the store: < 10% of the cold serial
     # time (with a small floor so a pathologically fast cold run can't flake).

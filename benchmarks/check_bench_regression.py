@@ -9,6 +9,12 @@ Re-executes two committed rows of ``BENCH_simulator.json`` and gates them:
   counter in ``plane_signature`` must match byte-for-byte and every product
   must verify.
 
+It additionally gates the committed ``BENCH_sweep.json`` (when present): the
+faulted-campaign row must exist, must have injected faults into >= 20% of
+runs, and must report ok-records byte-identical to the fault-free campaign
+-- drifting ok-record bytes under faults is a correctness regression in the
+supervisor's retry machinery, not a performance problem.
+
 For both rows the counters must match the baseline **exactly** (a mismatch
 is a correctness regression in the counter engine) and the wall time must
 not regress by more than ``--max-regression`` (default 25%) over the
@@ -46,6 +52,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--max-regression", type=float, default=0.25,
         help="largest tolerated fractional slowdown vs the baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--sweep-baseline", default="BENCH_sweep.json",
+        help="committed sweep-engine report whose faulted row is gated (skipped if absent)",
     )
     args = parser.parse_args(argv)
 
@@ -154,6 +164,36 @@ def main(argv=None) -> int:
             )
     else:
         failures.append("baseline has no plane row; regenerate BENCH_simulator.json")
+
+    # ------------------------------------------------------------------
+    # gate 3: the sweep engine's faulted-campaign row (chaos invariant)
+    # ------------------------------------------------------------------
+    sweep_path = Path(args.sweep_baseline)
+    if sweep_path.exists():
+        sweep_report = json.loads(sweep_path.read_text())
+        if "faulted_ok_records_identical" not in sweep_report:
+            failures.append(
+                f"{sweep_path} has no faulted-campaign row; regenerate it "
+                "(python benchmarks/bench_sweep_engine.py)"
+            )
+        else:
+            rate = sweep_report.get("fault_rate", 0.0)
+            print(
+                f"sweep-engine faulted row: fault rate {rate:.0%}, "
+                f"{sweep_report.get('faulted_retries', 0)} retries, "
+                f"overhead {sweep_report.get('faulted_recovery_overhead_vs_parallel')}x"
+            )
+            if rate < 0.2:
+                failures.append(
+                    f"faulted campaign injected faults into only {rate:.0%} of runs (< 20%)"
+                )
+            if not sweep_report["faulted_ok_records_identical"]:
+                failures.append(
+                    "ok-record bytes drifted under injected faults "
+                    "(supervisor retry machinery corrupted a record)"
+                )
+    else:
+        print(f"sweep-engine gate skipped: no {sweep_path}")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

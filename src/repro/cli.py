@@ -11,6 +11,8 @@ Exposes the library's main entry points without writing any Python::
     python -m repro bounds   --m 4096 --n 4096 --k 4096 --processors 512 --memory 65536
     python -m repro grid     --m 4096 --n 4096 --k 4096 --processors 65
     python -m repro sequential --size 32 --memory 64 128 256
+    python -m repro store verify  --store .sweep-cache
+    python -m repro store compact --store .sweep-cache
 
 Algorithm names (and their choice lists) come from the algorithm registry
 (:mod:`repro.algorithms`); aliases like ``SUMMA`` or ``2.5D`` are accepted
@@ -47,7 +49,7 @@ from repro.machine.topology import MachineSpec
 from repro.machine.transport import MODES
 from repro.pebbling.mmm_bounds import near_optimal_sequential_io
 from repro.sequential import tiled_multiply
-from repro.sweeps import SweepSpec, run_campaign, scenario_summary_table, tidy_rows
+from repro.sweeps import ResultStore, RetryPolicy, SweepSpec, run_campaign, scenario_summary_table, tidy_rows
 from repro.sweeps.runner import DEFAULT_STORE_PATH
 from repro.sweeps.spec import FAMILIES, REGIMES
 from repro.workloads.scaling import extra_memory_sweep, limited_memory_sweep, strong_scaling_sweep
@@ -134,6 +136,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=None)
     p_sweep.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process)")
     p_sweep.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="per-run wall-clock deadline; expired runs are killed and retried, then quarantined",
+    )
+    p_sweep.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="attempts per run for retryable failures (default: 3; 1 disables retries)",
+    )
+    p_sweep.add_argument(
+        "--memory-budget", type=int, default=None, metavar="WORDS",
+        help=(
+            "host-memory admission budget in words: runs predicted to exceed it are "
+            "refused as structured records, oversized-but-fitting runs are serialized"
+        ),
+    )
+    p_sweep.add_argument(
         "--out", default=DEFAULT_STORE_PATH,
         help=f"result-store directory (default: {DEFAULT_STORE_PATH}); delete it to invalidate the cache",
     )
@@ -180,6 +197,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p_seq.add_argument("--size", type=int, default=32, help="m = n = k")
     p_seq.add_argument("--memory", type=int, nargs="+", default=[64, 128, 256])
     p_seq.add_argument("--seed", type=int, default=0)
+
+    p_store = sub.add_parser("store", help="inspect and maintain a sweep result store")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_verify = store_sub.add_parser(
+        "verify", help="scan the store for torn, duplicate and schema-drifted lines (read-only)",
+    )
+    p_verify.add_argument(
+        "--store", default=DEFAULT_STORE_PATH,
+        help=f"result-store directory (default: {DEFAULT_STORE_PATH})",
+    )
+    p_compact = store_sub.add_parser(
+        "compact", help="atomically rewrite the store keeping the last record per key",
+    )
+    p_compact.add_argument(
+        "--store", default=DEFAULT_STORE_PATH,
+        help=f"result-store directory (default: {DEFAULT_STORE_PATH})",
+    )
     return parser
 
 
@@ -317,15 +351,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({len(spec.scenarios())} scenarios x {len(spec.algorithms)} algorithms, "
         f"mode={spec.mode}, jobs={args.jobs}, store={args.out})"
     )
+    retry = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts is not None else None
     result = run_campaign(
         spec, store=args.out, jobs=args.jobs, resume=args.resume,
         retry_failures=args.retry_failures, compress_rounds=args.compress_rounds,
+        timeout_s=args.timeout_s, retry=retry,
+        memory_budget_words=args.memory_budget,
     )
     rows = tidy_rows(result.records)
     print(
         f"executed {result.executed}, cached {result.cached}, failed {result.failed} "
         f"(pruned {result.pruned} as infeasible) in {result.elapsed_s:.2f}s"
     )
+    if result.retried or result.quarantined or result.refused or result.deferred:
+        print(
+            f"fault tolerance: {result.retried} retries, {result.quarantined} quarantined, "
+            f"{result.refused} refused by the memory budget, {result.deferred} deferred to "
+            f"concurrent campaigns"
+        )
+    if result.stale_lines:
+        print(f"store holds {result.stale_lines} stale lines; run 'repro store compact' to drop them")
     if args.full_table:
         from repro.sweeps import campaign_table
 
@@ -369,6 +414,24 @@ def _cmd_sequential(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    store_dir = Path(args.store)
+    if not (store_dir / "results.jsonl").exists() and not store_dir.exists():
+        print(f"error: no result store at {store_dir}", file=sys.stderr)
+        return 2
+    store = ResultStore(store_dir)
+    if args.store_command == "verify":
+        report = store.verify()
+        print(report.summary())
+        for issue in report.issues:
+            print(f"  {issue}")
+        return 0 if report.clean else 1
+    dropped = store.compact()
+    report = store.verify()
+    print(f"dropped {dropped} stale lines; {report.summary()}")
+    return 0 if report.clean else 1
+
+
 _COMMANDS = {
     "multiply": _cmd_multiply,
     "plan": _cmd_plan,
@@ -377,6 +440,7 @@ _COMMANDS = {
     "bounds": _cmd_bounds,
     "grid": _cmd_grid,
     "sequential": _cmd_sequential,
+    "store": _cmd_store,
 }
 
 

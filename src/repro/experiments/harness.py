@@ -111,6 +111,13 @@ class RunFailure:
     schedule.  :func:`run_algorithm_safe` converts the exception into this
     record so the campaign runner (and the result store) can persist it and
     keep going.
+
+    The taxonomy fields below are filled in by the campaign supervisor
+    (:mod:`repro.sweeps.runner`) when a run is quarantined after exhausting
+    its retry budget: how many attempts were made, how long they took, the
+    signal that killed the worker (``9`` for a SIGKILL/OOM death, ``None``
+    when the run failed in-process), the tail of the worker's traceback and
+    whether the final error class was considered retryable at all.
     """
 
     algorithm: str
@@ -118,6 +125,16 @@ class RunFailure:
     mode: str
     error_type: str
     error_message: str
+    #: Execution attempts made before this failure became final.
+    attempts: int = 1
+    #: Wall-clock seconds spent across all attempts (0.0 when unknown).
+    duration_s: float = 0.0
+    #: Signal number that killed the worker process, if it died hard.
+    exit_signal: int | None = None
+    #: Last lines of the worker-side traceback (empty for clean captures).
+    traceback_tail: str = ""
+    #: Whether the error class was retryable under the campaign's policy.
+    retryable: bool = False
 
     @property
     def correct(self) -> bool:

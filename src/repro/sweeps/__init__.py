@@ -40,6 +40,17 @@ Consequences:
   alters what the simulator would measure for the same parameters, bump
   :data:`~repro.sweeps.store.KEY_VERSION` (or delete the store directory) to
   invalidate every cached record at once.
+* **Execution policy never participates.**  Attempt counts, retry/timeout
+  settings, worker counts and injected faults (chaos testing,
+  :mod:`repro.sweeps.faults`) address the same key as a clean first-attempt
+  run: a record describes *what was measured*, never *how hard it was to
+  measure it*.  This is what makes a faulted campaign converge to
+  byte-identical ok-records vs. a fault-free one (the chaos invariant), and
+  why retried runs overwrite rather than fork their cache entries.  The one
+  deliberate exception is the *failure taxonomy* on quarantined ``"failed"``
+  records (attempts / duration / exit signal / traceback tail): failures are
+  forensic evidence, not measurements, and they are re-executed -- not
+  trusted -- under ``retry_failures=True``.
 """
 
 from repro.sweeps.aggregate import (
@@ -49,17 +60,30 @@ from repro.sweeps.aggregate import (
     scenario_summary_table,
     tidy_rows,
 )
-from repro.sweeps.runner import CampaignResult, run_campaign
+from repro.sweeps.faults import FaultPlan, TransientFault
+from repro.sweeps.runner import (
+    NO_RETRY,
+    CampaignResult,
+    RetryPolicy,
+    predicted_working_set_words,
+    run_campaign,
+)
 from repro.sweeps.spec import RunRequest, SweepSpec, spec_from_scenarios
-from repro.sweeps.store import KEY_VERSION, ResultStore, run_key
+from repro.sweeps.store import KEY_VERSION, ResultStore, StoreVerifyReport, run_key
 
 __all__ = [
     "CampaignResult",
+    "FaultPlan",
     "KEY_VERSION",
+    "NO_RETRY",
     "ResultStore",
+    "RetryPolicy",
     "RunRequest",
+    "StoreVerifyReport",
     "SweepSpec",
+    "TransientFault",
     "campaign_table",
+    "predicted_working_set_words",
     "rows_to_json",
     "run_campaign",
     "run_key",

@@ -1,40 +1,68 @@
-"""Campaign runner: fan a sweep out over a worker pool, persist every result.
+"""Campaign runner: fault-tolerant fan-out over supervised worker processes.
 
 The runner is the layer between "one harness run" and "a paper figure": it
 expands a :class:`~repro.sweeps.spec.SweepSpec` (or takes explicit
 :class:`~repro.sweeps.spec.RunRequest` lists), skips every run whose key the
 :class:`~repro.sweeps.store.ResultStore` already holds (``resume``), executes
-the rest serially or across a ``multiprocessing`` pool, and appends each
-record to the store as soon as it lands.  Workers execute via
-:func:`repro.experiments.harness.run_algorithm_safe`, so an infeasible point
-becomes a ``"failed"`` record instead of aborting the campaign.
+the rest, and appends each record to the store as soon as it lands.  Workers
+execute via :func:`repro.experiments.harness.run_algorithm_safe`, so an
+infeasible point becomes a ``"failed"`` record instead of aborting the
+campaign.
 
-Planning: before any worker starts, every pending request is planned through
-the algorithm registry (:meth:`repro.algorithms.AlgorithmSpec.plan`); points
-whose plan is infeasible -- aggregate memory below the ``p*S >= mn + mk +
-nk`` requirement of section 6.3 -- are stored as ``"failed"`` records with
-error type ``InfeasiblePlan`` *without executing them*.  Feasibility is an
-analytic statement about the parallel-schedule model: the simulator itself
-is lenient and would produce counters for such points, but those counters
-fall outside the theory the campaign compares against, so the runner refuses
-to spend workers on them (``prune=False`` restores the old
-execute-everything behaviour; ``KEY_VERSION`` was bumped with this change so
-pre-pruning stores cannot disagree with fresh runs).
+Fault tolerance: instead of a bare ``multiprocessing.Pool.imap`` (where one
+OOM-killed or hung worker wedges the whole campaign), parallel execution
+runs under a **supervisor** that owns one duplex pipe per worker process.
+The supervisor enforces a per-run wall-clock deadline (``timeout_s``),
+detects hard worker deaths (SIGKILL / OOM / segfault) without hanging,
+re-executes failed attempts under a :class:`RetryPolicy` (bounded attempts,
+exponential backoff with deterministic jitter, retryable-error
+classification), and -- once a run's budget is exhausted -- quarantines it
+as a structured ``"failed"`` record carrying the failure taxonomy
+(``attempts`` / ``duration_s`` / ``exit_signal`` / ``traceback_tail`` /
+``retryable``) instead of killing the campaign.  Successful records stay
+pure functions of the run parameters: attempt counts and injected faults
+never leak into ok-records or run keys, which is the chaos-harness
+invariant (``tests/test_sweeps_chaos.py``).
+
+Graceful degradation: with ``memory_budget_words`` set, each pending run's
+predicted working set (:func:`predicted_working_set_words`, derived from
+the memoized analytic plans and the scenario footprint) gates admission --
+runs that cannot fit the budget at all are *refused* as structured
+``MemoryBudgetExceeded`` records without executing, and runs too large to
+run concurrently are *serialized* through a single worker after the
+parallel wave.  ``KeyboardInterrupt`` / ``SIGTERM`` cancel cooperatively:
+finished results still sitting in worker pipes are drained to the store
+before the interrupt re-raises.
+
+Concurrent campaigns sharing one store coordinate through leases
+(:meth:`~repro.sweeps.store.ResultStore.acquire_leases`): keys leased by a
+live campaign are *deferred* -- this campaign waits for their records to
+appear instead of executing them twice -- and leases lapse after their TTL
+so a crashed campaign cannot wedge the keys it held.
 
 Determinism: records are reported in expansion order regardless of worker
-completion order, and every stored value is a pure function of the run's
-parameters -- a 2-job campaign aggregates byte-identically to a serial one.
+completion order, and every stored ok-value is a pure function of the run's
+parameters -- a 2-job campaign aggregates byte-identically to a serial one,
+faulted or not.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import os
+import signal
+import threading
 import time
+import traceback
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Iterable, Sequence
 
 from repro.algorithms import get_algorithm
 from repro.experiments.harness import AlgorithmRun, RunFailure, run_algorithm_safe
+from repro.sweeps.faults import FaultPlan, _uniform
 from repro.sweeps.spec import RunRequest, SweepSpec, request_from_dict
 from repro.sweeps.store import (
     ResultStore,
@@ -46,6 +74,62 @@ from repro.sweeps.store import (
 #: Default store directory, relative to the current working directory.
 DEFAULT_STORE_PATH = ".sweep-cache"
 
+#: Error classes worth re-executing: injected transients, hard worker
+#: deaths, deadline trips and environment-induced failures.  Deterministic
+#: simulation errors (infeasible schedules, conservation violations, value
+#: errors) are *not* here -- the simulator is deterministic, so they would
+#: fail identically on every attempt.
+RETRYABLE_ERRORS = (
+    "TransientFault",
+    "WorkerCrash",
+    "RunTimeout",
+    "MemoryError",
+    "OSError",
+    "BrokenPipeError",
+    "ConnectionResetError",
+    "EOFError",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed attempts are re-executed before a run is quarantined.
+
+    Backoff is exponential with a *deterministic* jitter derived from the
+    run key and attempt number (SHA-256, never ``random``), so two campaigns
+    replaying the same fault schedule retry on the same cadence.
+    """
+
+    #: Total attempts per run (1 = never retry).
+    max_attempts: int = 3
+    #: Backoff before attempt 2; grows by ``backoff_factor`` per attempt.
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    #: Deterministic jitter amplitude added on top of the base backoff.
+    jitter_s: float = 0.02
+    #: Error type names eligible for retry (see :data:`RETRYABLE_ERRORS`).
+    retryable_errors: tuple[str, ...] = RETRYABLE_ERRORS
+    #: Retry every error class (chaos/debug knob; deterministic failures
+    #: will burn the whole budget and quarantine anyway).
+    retry_all: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def is_retryable(self, error_type: str) -> bool:
+        return self.retry_all or error_type in self.retryable_errors
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Seconds to wait before re-dispatching ``key`` after ``attempt``."""
+        base = min(self.backoff_s * self.backoff_factor ** (attempt - 1), self.max_backoff_s)
+        return base + _uniform("backoff", key, attempt) * self.jitter_s
+
+
+#: A policy that never retries (the pre-supervisor behaviour).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
 
 @dataclass
 class CampaignResult:
@@ -53,7 +137,8 @@ class CampaignResult:
 
     #: Records in expansion order (cached and fresh alike).
     records: list[dict]
-    #: Number of runs actually executed by this invocation.
+    #: Number of runs actually executed by this invocation (ok or
+    #: quarantined; refused / deferred / pruned runs never executed).
     executed: int
     #: Number of runs answered from the store without executing.
     cached: int
@@ -64,6 +149,18 @@ class CampaignResult:
     #: (their ``"failed"`` records carry error type ``InfeasiblePlan``).
     pruned: int = 0
     store_path: str = ""
+    #: Retry attempts performed beyond each run's first attempt.
+    retried: int = 0
+    #: Runs stored as ``"failed"`` by this invocation's execution phase
+    #: (retry budget exhausted or non-retryable error).
+    quarantined: int = 0
+    #: Runs refused at admission (predicted working set over the budget).
+    refused: int = 0
+    #: Runs resolved by waiting on a concurrent campaign's lease.
+    deferred: int = 0
+    #: Store lines a compaction would drop, as of campaign end (see
+    #: :attr:`~repro.sweeps.store.ResultStore.stale_lines`).
+    stale_lines: int = 0
     _runs: list[AlgorithmRun] | None = field(default=None, repr=False)
 
     @property
@@ -96,11 +193,6 @@ def execute_request(request: RunRequest) -> dict:
     return failure_to_record(outcome, request.key, seed=request.seed)
 
 
-def _execute_payload(payload: dict) -> dict:
-    """Pool-friendly wrapper: dict in, dict out (both picklable everywhere)."""
-    return execute_request(request_from_dict(payload))
-
-
 def plan_request(request: RunRequest):
     """Plan one request through the registry (never raises; see run_campaign)."""
     try:
@@ -109,6 +201,438 @@ def plan_request(request: RunRequest):
         # A planner bug must not prune real work; treat the point as feasible
         # and let execution (which captures failures) decide.
         return None
+
+
+def predicted_working_set_words(request: RunRequest) -> int:
+    """Predicted peak memory (words) one run pins in its worker process.
+
+    Volume mode never materializes matrices -- the footprint is the counter
+    matrix and schedule bookkeeping, O(p).  Numeric modes hold the dense
+    inputs, the product, the verification reference (when verifying) and
+    the per-rank resident copies bounded by ``p * S``.  This is an admission
+    heuristic riding the same analytic quantities the memoized plans use,
+    not a hard guarantee.
+    """
+    scenario = request.scenario
+    shape = scenario.shape
+    if request.mode == "volume":
+        return 64 * scenario.p
+    matrix_words = shape.m * shape.k + shape.k * shape.n + shape.m * shape.n
+    copies = 3 if request.verify else 2
+    return copies * matrix_words + scenario.p * scenario.memory_words
+
+
+def _traceback_tail(limit: int = 6) -> str:
+    """The last ``limit`` lines of the current exception's traceback."""
+    lines = traceback.format_exc().strip().splitlines()
+    return "\n".join(lines[-limit:])
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+def _worker_loop(conn, faults_payload: dict | None) -> None:
+    """One supervised worker: recv (payload, attempt), send the outcome.
+
+    Messages back to the supervisor are either ``("done", record,
+    duration_s)`` -- where ``record`` may itself be a captured ``"failed"``
+    record -- or ``("raised", error_type, message, traceback_tail,
+    duration_s)`` for exceptions outside the harness's capture (injected
+    transients, interpreter-level failures).  A ``None`` message shuts the
+    worker down.  SIGINT is ignored so a Ctrl-C interrupts the supervisor
+    (which drains and shuts workers down cooperatively), not the workers.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread start methods
+        pass
+    faults = FaultPlan.from_dict(faults_payload) if faults_payload else None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if message is None:
+            return
+        payload, attempt = message
+        start = time.perf_counter()
+        try:
+            request = request_from_dict(payload)
+            if faults is not None:
+                faults.inject(request.key, attempt)  # may crash/hang/raise
+            record = execute_request(request)
+            conn.send(("done", record, time.perf_counter() - start))
+        except Exception as exc:  # noqa: BLE001 - shipped to the supervisor
+            tail = _traceback_tail()
+            try:
+                conn.send((
+                    "raised", type(exc).__name__, str(exc), tail,
+                    time.perf_counter() - start,
+                ))
+            except (OSError, BrokenPipeError):
+                return
+
+
+class _WorkerSlot:
+    """One worker process plus the supervisor's end of its pipe."""
+
+    __slots__ = ("_ctx", "_faults_payload", "conn", "process", "task", "started")
+
+    def __init__(self, ctx, faults_payload: dict | None):
+        self._ctx = ctx
+        self._faults_payload = faults_payload
+        self.task = None
+        self.started = 0.0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.conn, child_conn = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=_worker_loop, args=(child_conn, self._faults_payload), daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def respawn(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._spawn()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join()
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Supervisor side
+# ---------------------------------------------------------------------------
+class _Task:
+    __slots__ = ("request", "key", "attempts", "duration_s", "seq")
+
+    def __init__(self, request: RunRequest, seq: int):
+        self.request = request
+        self.key = request.key
+        self.attempts = 0
+        self.duration_s = 0.0
+        self.seq = seq
+
+
+@dataclass
+class _ExecStats:
+    ok: int = 0
+    quarantined: int = 0
+    retried: int = 0
+
+    @property
+    def executed(self) -> int:
+        return self.ok + self.quarantined
+
+    def merge(self, other: "_ExecStats") -> None:
+        self.ok += other.ok
+        self.quarantined += other.quarantined
+        self.retried += other.retried
+
+
+class _Supervisor:
+    """Crash-isolated dispatch of a request batch over worker processes.
+
+    Each worker holds at most one in-flight run; the supervisor multiplexes
+    over the pipes with :func:`multiprocessing.connection.wait`, so a dead
+    or hung worker never blocks results from the others.  Worker deaths and
+    deadline trips are converted into retryable attempt failures
+    (``WorkerCrash`` / ``RunTimeout``) and the slot is respawned.
+    """
+
+    #: Pipe-poll tick: an upper bound on deadline-detection latency.
+    POLL_S = 0.05
+
+    def __init__(
+        self,
+        requests: Iterable[RunRequest],
+        jobs: int,
+        store: ResultStore,
+        policy: RetryPolicy,
+        timeout_s: float | None,
+        faults: FaultPlan | None,
+        progress: Callable[[dict, bool], None] | None,
+        renew: Callable[[list[str]], None] | None = None,
+        renew_interval_s: float = 5.0,
+    ):
+        self.tasks = [_Task(request, seq) for seq, request in enumerate(requests)]
+        self.jobs = max(1, min(jobs, len(self.tasks)))
+        self.store = store
+        self.policy = policy
+        self.timeout_s = timeout_s
+        self.faults = faults
+        self.progress = progress
+        self.renew = renew
+        self.renew_interval_s = renew_interval_s
+        self.stats = _ExecStats()
+        self.queue: deque[_Task] = deque(self.tasks)
+        self.retry_heap: list[tuple[float, int, _Task]] = []
+        self.unfinished: set[str] = {task.key for task in self.tasks}
+
+    # -- outcome handling ---------------------------------------------------
+    def _store(self, record: dict) -> None:
+        self.store.put(record)
+        if self.progress is not None:
+            self.progress(record, False)
+
+    def _finish_ok(self, task: _Task, record: dict) -> None:
+        self._store(record)
+        self.stats.ok += 1
+        self.unfinished.discard(task.key)
+
+    def _quarantine(self, task: _Task, error_type: str, message: str,
+                    tb_tail: str, exit_signal: int | None, retryable: bool) -> None:
+        failure = RunFailure(
+            algorithm=task.request.algorithm,
+            scenario=task.request.scenario,
+            mode=task.request.mode,
+            error_type=error_type,
+            error_message=message,
+            attempts=task.attempts,
+            duration_s=round(task.duration_s, 3),
+            exit_signal=exit_signal,
+            traceback_tail=tb_tail,
+            retryable=retryable,
+        )
+        self._store(failure_to_record(failure, task.key, seed=task.request.seed))
+        self.stats.quarantined += 1
+        self.unfinished.discard(task.key)
+
+    def _resolve_failure(self, task: _Task, error_type: str, message: str,
+                         tb_tail: str = "", exit_signal: int | None = None,
+                         allow_retry: bool = True) -> None:
+        retryable = self.policy.is_retryable(error_type)
+        if allow_retry and retryable and task.attempts < self.policy.max_attempts:
+            self.stats.retried += 1
+            eligible_at = time.monotonic() + self.policy.backoff(task.key, task.attempts)
+            heapq.heappush(self.retry_heap, (eligible_at, task.seq, task))
+            return
+        self._quarantine(task, error_type, message, tb_tail, exit_signal, retryable)
+
+    def _handle_message(self, slot: _WorkerSlot, message, allow_retry: bool = True) -> None:
+        task = slot.task
+        slot.task = None
+        if message[0] == "done":
+            _, record, duration = message
+            task.duration_s += duration
+            if record.get("status") == "ok":
+                self._finish_ok(task, record)
+            else:
+                error = record.get("error", {})
+                self._resolve_failure(
+                    task, error.get("type", "UnknownError"), error.get("message", ""),
+                    allow_retry=allow_retry,
+                )
+        else:  # "raised"
+            _, error_type, message_text, tb_tail, duration = message
+            task.duration_s += duration
+            self._resolve_failure(
+                task, error_type, message_text, tb_tail, allow_retry=allow_retry,
+            )
+
+    def _handle_death(self, slot: _WorkerSlot) -> None:
+        task = slot.task
+        slot.task = None
+        slot.kill()  # reap (already dead, but join collects the exit code)
+        exitcode = slot.process.exitcode
+        exit_signal = -exitcode if exitcode is not None and exitcode < 0 else None
+        task.duration_s += time.monotonic() - slot.started
+        slot.respawn()
+        self._resolve_failure(
+            task, "WorkerCrash",
+            f"worker process died mid-run (exit code {exitcode})",
+            exit_signal=exit_signal,
+        )
+
+    def _handle_timeout(self, slot: _WorkerSlot) -> None:
+        task = slot.task
+        slot.task = None
+        slot.kill()
+        task.duration_s += time.monotonic() - slot.started
+        slot.respawn()
+        self._resolve_failure(
+            task, "RunTimeout",
+            f"run exceeded the {self.timeout_s}s wall-clock deadline",
+            exit_signal=int(signal.SIGKILL),
+        )
+
+    # -- main loop ----------------------------------------------------------
+    def run(self) -> _ExecStats:
+        if not self.tasks:
+            return self.stats
+        ctx = multiprocessing.get_context()
+        faults_payload = self.faults.to_dict() if self.faults is not None else None
+        workers = [_WorkerSlot(ctx, faults_payload) for _ in range(self.jobs)]
+        last_renew = time.monotonic()
+        try:
+            while self.unfinished:
+                now = time.monotonic()
+                while self.retry_heap and self.retry_heap[0][0] <= now:
+                    self.queue.append(heapq.heappop(self.retry_heap)[2])
+                for slot in workers:
+                    if slot.task is None and self.queue:
+                        task = self.queue.popleft()
+                        task.attempts += 1
+                        try:
+                            slot.conn.send((task.request.to_dict(), task.attempts))
+                        except (OSError, BrokenPipeError):
+                            task.attempts -= 1
+                            self.queue.appendleft(task)
+                            slot.respawn()
+                            continue
+                        slot.task = task
+                        slot.started = time.monotonic()
+                if self.renew is not None and time.monotonic() - last_renew >= self.renew_interval_s:
+                    self.renew(sorted(self.unfinished))
+                    last_renew = time.monotonic()
+                busy = {slot.conn: slot for slot in workers if slot.task is not None}
+                if not busy:
+                    if self.retry_heap:
+                        time.sleep(
+                            min(max(self.retry_heap[0][0] - time.monotonic(), 0.001), self.POLL_S)
+                        )
+                        continue
+                    raise RuntimeError(  # pragma: no cover - supervisor invariant
+                        "supervisor has unfinished runs but nothing queued or in flight"
+                    )
+                for conn in _connection_wait(list(busy), timeout=self.POLL_S):
+                    slot = busy[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        self._handle_death(slot)
+                        continue
+                    self._handle_message(slot, message)
+                now = time.monotonic()
+                for slot in workers:
+                    if slot.task is None:
+                        continue
+                    if self.timeout_s is not None and now - slot.started > self.timeout_s:
+                        self._handle_timeout(slot)
+                    elif not slot.process.is_alive() and not slot.conn.poll():
+                        self._handle_death(slot)
+        except KeyboardInterrupt:
+            # Cooperative cancellation: results already sitting in worker
+            # pipes are persisted before the interrupt propagates, so a
+            # Ctrl-C / SIGTERM never discards completed work.
+            self._drain(workers)
+            raise
+        finally:
+            for slot in workers:
+                slot.shutdown()
+        return self.stats
+
+    def _drain(self, workers: list[_WorkerSlot]) -> None:
+        for slot in workers:
+            if slot.task is None:
+                continue
+            try:
+                if not slot.conn.poll(0):
+                    continue
+                message = slot.conn.recv()
+            except (EOFError, OSError):  # pragma: no cover - died while draining
+                continue
+            # Persist completed results only; a failed attempt mid-retry must
+            # not be quarantined by the interrupt (a resumed campaign would
+            # mistake it for a final record) -- it simply re-executes later.
+            if message[0] == "done" and message[1].get("status") == "ok":
+                task = slot.task
+                slot.task = None
+                task.duration_s += message[2]
+                self._finish_ok(task, message[1])
+
+
+def _execute_serially(
+    requests: Iterable[RunRequest],
+    store: ResultStore,
+    policy: RetryPolicy,
+    progress: Callable[[dict, bool], None] | None,
+    renew: Callable[[list[str]], None] | None = None,
+    renew_interval_s: float = 5.0,
+) -> _ExecStats:
+    """In-process execution with the same retry/quarantine semantics.
+
+    Used when no crash isolation is required (``jobs=1``, no deadline, no
+    fault plan): transient errors still retry with backoff, and exhausted
+    runs still quarantine with the full taxonomy (``exit_signal`` is always
+    ``None`` in-process).
+    """
+    stats = _ExecStats()
+    requests = list(requests)
+    remaining = [request.key for request in requests]
+    last_renew = time.monotonic()
+    for request in requests:
+        attempts = 0
+        total_duration = 0.0
+        while True:
+            attempts += 1
+            start = time.perf_counter()
+            record = execute_request(request)
+            total_duration += time.perf_counter() - start
+            if record.get("status") == "failed":
+                error_type = record["error"]["type"]
+                retryable = policy.is_retryable(error_type)
+                if retryable and attempts < policy.max_attempts:
+                    stats.retried += 1
+                    time.sleep(policy.backoff(request.key, attempts))
+                    continue
+                record["error"].update(
+                    attempts=attempts,
+                    duration_s=round(total_duration, 3),
+                    retryable=retryable,
+                )
+                stats.quarantined += 1
+            else:
+                stats.ok += 1
+            store.put(record)
+            if progress is not None:
+                progress(record, False)
+            break
+        remaining.pop(0)
+        if renew is not None and remaining and time.monotonic() - last_renew >= renew_interval_s:
+            renew(remaining)
+            last_renew = time.monotonic()
+    return stats
+
+
+def _install_sigterm_as_interrupt():
+    """Route SIGTERM through KeyboardInterrupt while a campaign executes.
+
+    Returns an undo callable.  Outside the main thread (or where signals are
+    unavailable) this is a no-op -- the interrupt drain then only covers
+    KeyboardInterrupt.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+
+    def _raise_interrupt(signum, frame):  # pragma: no cover - exercised via tests' SIGTERM
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise_interrupt)
+    except ValueError:  # pragma: no cover - exotic embedding
+        return lambda: None
+    return lambda: signal.signal(signal.SIGTERM, previous)
 
 
 def run_campaign(
@@ -120,6 +644,13 @@ def run_campaign(
     prune: bool = True,
     compress_rounds: bool = False,
     progress: Callable[[dict, bool], None] | None = None,
+    timeout_s: float | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    memory_budget_words: int | None = None,
+    lease: bool = True,
+    lease_ttl_s: float = 15.0,
+    auto_compact: bool = True,
 ) -> CampaignResult:
     """Run every request of ``spec`` that the store cannot already answer.
 
@@ -133,11 +664,13 @@ def run_campaign(
         current working directory (shared -- and resumed -- across
         invocations run from the same directory).
     jobs:
-        Worker-process count; ``1`` runs in-process (no pool).
+        Worker-process count; ``1`` runs in-process (no pool) unless a
+        deadline or fault plan forces supervised isolation.
     resume:
         When true (default), requests whose key is already stored are served
         from the store.  When false, every request re-executes and
-        overwrites its record.
+        overwrites its record (appending a superseding line; see
+        ``auto_compact``).
     retry_failures:
         The simulator is deterministic, so ``"failed"`` records are cached
         like successes by default.  Set true to re-execute stored failures
@@ -159,6 +692,35 @@ def run_campaign(
         Optional callback invoked as ``progress(record, from_cache)`` after
         every request resolves, in expansion order for cached entries and in
         completion order for executed ones.
+    timeout_s:
+        Per-run wall-clock deadline.  A run past its deadline is SIGKILLed
+        and treated as a retryable ``RunTimeout`` attempt failure.  Setting
+        a deadline forces supervised worker processes even at ``jobs=1``.
+    retry:
+        The :class:`RetryPolicy` for failed attempts (default:
+        ``RetryPolicy()``, 3 attempts over retryable errors only; pass
+        :data:`NO_RETRY` for the historic single-attempt behaviour).
+    faults:
+        A deterministic :class:`~repro.sweeps.faults.FaultPlan` injected
+        into workers and the store (chaos testing only).  Forces supervised
+        isolation; never alters run keys or ok-record contents.
+    memory_budget_words:
+        Host-memory admission budget.  Runs whose
+        :func:`predicted_working_set_words` exceeds the budget are refused
+        as ``MemoryBudgetExceeded`` records without executing; runs over
+        ``budget / jobs`` are serialized through a single worker after the
+        parallel wave instead of OOMing the pool.
+    lease:
+        Coordinate with concurrent campaigns sharing this store via
+        in-progress leases (default on).  Keys leased by a live campaign
+        are deferred -- their records are awaited, not re-executed.
+    lease_ttl_s:
+        Lease lifetime; a campaign heartbeats its leases at a third of this
+        and a crashed campaign's keys become reclaimable after it lapses.
+    auto_compact:
+        Compact the store at campaign end when stale (superseded or torn)
+        lines outnumber live records, bounding file growth under
+        ``resume=False`` / ``retry_failures=True`` rerun loops.
     """
     if isinstance(spec, SweepSpec):
         requests = spec.expand()
@@ -170,9 +732,12 @@ def run_campaign(
             for request in requests
         ]
     if store is None or isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
-        store = ResultStore(store if store is not None else DEFAULT_STORE_PATH)
+        store = ResultStore(store if store is not None else DEFAULT_STORE_PATH, faults=faults)
+    elif faults is not None and store.faults is None:
+        store.faults = faults
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    policy = retry if retry is not None else RetryPolicy()
 
     start = time.perf_counter()
     # Deduplicate by key (identical requests collapse onto one execution and
@@ -221,20 +786,111 @@ def run_campaign(
                 progress(record, False)
         pending = executable
 
-    if pending:
-        if jobs == 1:
-            for request in pending.values():
-                record = execute_request(request)
+    # -- admission gating against the host-memory budget --------------------
+    refused = 0
+    serial_tail: dict[str, RunRequest] = {}
+    if memory_budget_words is not None and pending:
+        admitted: dict[str, RunRequest] = {}
+        for key, request in pending.items():
+            need = predicted_working_set_words(request)
+            if need > memory_budget_words:
+                record = failure_to_record(
+                    RunFailure(
+                        algorithm=request.algorithm,
+                        scenario=request.scenario,
+                        mode=request.mode,
+                        error_type="MemoryBudgetExceeded",
+                        error_message=(
+                            f"predicted working set {need} words exceeds the "
+                            f"{memory_budget_words}-word host budget"
+                        ),
+                    ),
+                    key,
+                    seed=request.seed,
+                )
                 store.put(record)
+                refused += 1
                 if progress is not None:
                     progress(record, False)
-        else:
-            payloads = [request.to_dict() for request in pending.values()]
-            with multiprocessing.Pool(processes=jobs) as pool:
-                for record in pool.imap(_execute_payload, payloads, chunksize=1):
-                    store.put(record)
-                    if progress is not None:
-                        progress(record, False)
+            elif jobs > 1 and need > memory_budget_words // jobs:
+                serial_tail[key] = request
+            else:
+                admitted[key] = request
+        pending = admitted
+
+    # -- lease coordination with concurrent campaigns ------------------------
+    to_execute: dict[str, RunRequest] = {**pending, **serial_tail}
+    owner = f"{os.getpid()}-{os.urandom(4).hex()}"
+    deferred_keys: set[str] = set()
+    granted: set[str] = set()
+    if lease and to_execute:
+        granted = store.acquire_leases(to_execute.keys(), owner, ttl_s=lease_ttl_s)
+        deferred_keys = set(to_execute) - granted
+        pending = {key: req for key, req in pending.items() if key in granted}
+        serial_tail = {key: req for key, req in serial_tail.items() if key in granted}
+
+    isolate = jobs > 1 or timeout_s is not None or faults is not None
+    renew = None
+    if lease and granted:
+        def renew(keys, _store=store, _owner=owner, _ttl=lease_ttl_s):
+            _store.renew_leases(keys, _owner, ttl_s=_ttl)
+    renew_interval_s = max(lease_ttl_s / 3.0, 0.5)
+
+    def _execute_batch(batch: dict[str, RunRequest], batch_jobs: int) -> _ExecStats:
+        if not batch:
+            return _ExecStats()
+        if isolate:
+            return _Supervisor(
+                batch.values(), batch_jobs, store, policy, timeout_s, faults,
+                progress, renew=renew, renew_interval_s=renew_interval_s,
+            ).run()
+        return _execute_serially(
+            batch.values(), store, policy, progress,
+            renew=renew, renew_interval_s=renew_interval_s,
+        )
+
+    stats = _ExecStats()
+    deferred_resolved = 0
+    restore_sigterm = _install_sigterm_as_interrupt()
+    try:
+        try:
+            stats.merge(_execute_batch(pending, jobs))
+            # Oversized-but-admissible runs execute one at a time so their
+            # working sets never stack on top of each other.
+            stats.merge(_execute_batch(serial_tail, 1))
+        finally:
+            if granted:
+                store.release_leases(granted, owner)
+
+        # -- wait on keys a concurrent campaign is executing -----------------
+        while deferred_keys:
+            store.refresh()
+            found = {key for key in deferred_keys if key in store}
+            for key in found:
+                if progress is not None:
+                    progress(store.get(key), True)
+            deferred_keys -= found
+            deferred_resolved += len(found)
+            if not deferred_keys:
+                break
+            # Reclaim keys whose campaign died (their leases lapsed).
+            reclaimed = store.acquire_leases(deferred_keys, owner, ttl_s=lease_ttl_s)
+            if reclaimed:
+                try:
+                    stats.merge(_execute_batch(
+                        {key: to_execute[key] for key in to_execute if key in reclaimed},
+                        jobs,
+                    ))
+                finally:
+                    store.release_leases(reclaimed, owner)
+                deferred_keys -= reclaimed
+                continue
+            time.sleep(0.05)
+    finally:
+        restore_sigterm()
+
+    if auto_compact and store.stale_lines > max(len(store), 32):
+        store.compact()
 
     records = []
     seen: set[str] = set()
@@ -250,10 +906,15 @@ def run_campaign(
 
     return CampaignResult(
         records=records,
-        executed=len(pending),
+        executed=stats.executed,
         cached=cached,
         failed=sum(1 for r in records if r.get("status") == "failed"),
         elapsed_s=time.perf_counter() - start,
         pruned=pruned,
         store_path=str(store.path),
+        retried=stats.retried,
+        quarantined=stats.quarantined,
+        refused=refused,
+        deferred=deferred_resolved,
+        stale_lines=store.stale_lines,
     )

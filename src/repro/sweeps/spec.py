@@ -41,7 +41,10 @@ class RunRequest:
     identity: compressed and uncompressed executions produce byte-identical
     counters (guarded by the golden sweep and the compression-parity tests),
     so it deliberately does not participate in :attr:`key` -- a cached
-    uncompressed record answers a compressed request and vice versa.
+    uncompressed record answers a compressed request and vice versa.  The
+    same holds for the campaign's fault-tolerance knobs (retry policy,
+    deadlines, fault injection): attempt counts and injected faults never
+    participate in keys (see the contract in :mod:`repro.sweeps`).
     """
 
     algorithm: str

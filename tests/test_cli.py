@@ -215,3 +215,48 @@ class TestParser:
     def test_missing_required_argument(self):
         with pytest.raises(SystemExit):
             main(["bounds", "--m", "8"])
+
+
+class TestStoreCommand:
+    def _populate(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["sweep", "--families", "square", "--regimes", "limited",
+              "--processors", "4", "--algorithms", "COSMA", "--out", store])
+        capsys.readouterr()
+        return store
+
+    def test_verify_clean_store(self, capsys, tmp_path):
+        store = self._populate(tmp_path, capsys)
+        assert main(["store", "verify", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "1 live records" in out
+
+    def test_verify_flags_dirty_store_and_compact_heals_it(self, capsys, tmp_path):
+        store = self._populate(tmp_path, capsys)
+        results = tmp_path / "store" / "results.jsonl"
+        line = results.read_text().splitlines()[0]
+        with results.open("a") as handle:
+            handle.write(line + "\n")        # duplicate
+            handle.write(line[: len(line) // 2])  # torn
+        assert main(["store", "verify", "--store", store]) == 1
+        out = capsys.readouterr().out
+        assert "DIRTY" in out
+        assert main(["store", "compact", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 2 stale lines" in out
+        assert main(["store", "verify", "--store", store]) == 0
+
+    def test_missing_store_is_an_error(self, capsys, tmp_path):
+        assert main(["store", "verify", "--store", str(tmp_path / "absent")]) == 2
+
+    def test_sweep_fault_tolerance_flags(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--families", "square", "--regimes", "limited",
+            "--processors", "4", "--algorithms", "COSMA",
+            "--out", str(tmp_path / "store"),
+            "--timeout-s", "30", "--max-attempts", "2", "--memory-budget", "100",
+        ])
+        out = capsys.readouterr().out
+        # 64 words/rank * 4 ranks = 256 words predicted > 100-word budget.
+        assert code == 1
+        assert "refused by the memory budget" in out

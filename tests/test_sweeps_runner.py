@@ -5,7 +5,7 @@ import pytest
 import repro.experiments.harness as harness
 from repro.experiments.harness import AlgorithmRun, RunFailure, run_algorithm_safe, sweep
 from repro.sweeps.aggregate import rows_to_json, runs_from_records, scenario_summary_table, tidy_rows
-from repro.sweeps.runner import run_campaign
+from repro.sweeps.runner import RetryPolicy, predicted_working_set_words, run_campaign
 from repro.sweeps.spec import SweepSpec, spec_from_scenarios
 from repro.workloads.scaling import Scenario
 from repro.workloads.shapes import square_shape
@@ -165,3 +165,79 @@ class TestCompressedCampaigns:
         )
         assert rerun.executed == 0
         assert rerun.cached == plain.executed + plain.cached
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=5, backoff_s=0.1, backoff_factor=2.0,
+                             max_backoff_s=0.3, jitter_s=0.05)
+        first = [policy.backoff("some-key", attempt) for attempt in (1, 2, 3, 4)]
+        second = [policy.backoff("some-key", attempt) for attempt in (1, 2, 3, 4)]
+        assert first == second  # SHA-256 jitter, not random
+        assert all(0.1 <= first[0] <= 0.15 for _ in [0])
+        assert all(delay <= 0.3 + 0.05 for delay in first)
+        assert policy.backoff("other-key", 1) != first[0]
+
+    def test_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable("TransientFault")
+        assert policy.is_retryable("WorkerCrash")
+        assert policy.is_retryable("RunTimeout")
+        assert not policy.is_retryable("RuntimeError")
+        assert not policy.is_retryable("InfeasiblePlan")
+        assert RetryPolicy(retry_all=True).is_retryable("RuntimeError")
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_deterministic_failures_quarantine_without_retry(self, tmp_path, exploding_algorithm):
+        """A RuntimeError is not retryable: one attempt, full taxonomy."""
+        scenarios = [Scenario(name="s2", shape=square_shape(16), p=2,
+                              memory_words=1024, regime="strong")]
+        spec = spec_from_scenarios(scenarios, algorithms=(exploding_algorithm,), mode="volume")
+        result = run_campaign(spec, store=tmp_path / "store", jobs=1)
+        assert (result.retried, result.quarantined) == (0, 1)
+        error = result.failed_records[0]["error"]
+        assert error["type"] == "RuntimeError"
+        assert error["attempts"] == 1
+        assert error["retryable"] is False
+        assert error["exit_signal"] is None
+
+
+class TestMemoryBudget:
+    def test_oversized_runs_refused_with_structured_record(self, tmp_path, spec):
+        requests = spec.expand()
+        budgets = sorted({predicted_working_set_words(r) for r in requests})
+        assert len(budgets) > 1, "the grid must span several working-set sizes"
+        budget = budgets[0]  # only the smallest runs fit
+        result = run_campaign(spec, store=tmp_path / "store", jobs=1,
+                              memory_budget_words=budget)
+        assert result.refused > 0
+        assert result.executed + result.refused == len(requests)
+        refused = [r for r in result.records
+                   if r["status"] == "failed" and r["error"]["type"] == "MemoryBudgetExceeded"]
+        assert len(refused) == result.refused
+        assert all(not r["error"]["retryable"] for r in refused)
+
+    def test_oversized_but_fitting_runs_serialize_not_refuse(self, tmp_path, spec):
+        """Runs over budget/jobs but under budget execute (one at a time)
+        and still produce records byte-identical to a serial campaign."""
+        requests = spec.expand()
+        budget = max(predicted_working_set_words(r) for r in requests)
+        baseline = run_campaign(spec, store=tmp_path / "clean", jobs=1)
+        gated = run_campaign(spec, store=tmp_path / "gated", jobs=2,
+                             memory_budget_words=budget)
+        assert gated.refused == 0
+        assert gated.executed == len(requests)
+        assert rows_to_json(tidy_rows(gated.records)) == rows_to_json(tidy_rows(baseline.records))
+
+    def test_budget_refusals_are_cached(self, tmp_path, spec):
+        requests = spec.expand()
+        budget = min(predicted_working_set_words(r) for r in requests)
+        run_campaign(spec, store=tmp_path / "store", jobs=1, memory_budget_words=budget)
+        # Rerun without the budget: refused records re-execute only via
+        # retry_failures (they are ordinary failed records).
+        warm = run_campaign(spec, store=tmp_path / "store", jobs=1)
+        assert warm.executed == 0
+        healed = run_campaign(spec, store=tmp_path / "store", jobs=1, retry_failures=True)
+        assert healed.failed == 0
+        assert healed.executed > 0

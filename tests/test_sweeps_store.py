@@ -3,6 +3,7 @@
 import json
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -148,3 +149,157 @@ class TestResume:
         run_campaign(spec, store=store_path, jobs=1)
         forced = run_campaign(spec, store=store_path, jobs=1, resume=False)
         assert (forced.executed, forced.cached) == (4, 0)
+
+
+def _append_records(path, worker_id, count):
+    """Child-process body for the concurrent-append test (fork-safe)."""
+    store = ResultStore(path)
+    for i in range(count):
+        store.put({"key": f"w{worker_id}-r{i}", "status": "ok", "metrics": {},
+                   "worker": worker_id, "payload": "x" * 200})
+
+
+class TestTornWriteRecovery:
+    """Satellite: torn-write edge cases the naive text-mode loader mishandled."""
+
+    def test_truncation_mid_multibyte_utf8_char(self, tmp_path):
+        """A line cut inside a multibyte UTF-8 character must be skipped as
+        torn, not crash the whole reload with UnicodeDecodeError."""
+        path = tmp_path / "store"
+        store = ResultStore(path)
+        store.put({"key": "good", "value": 1})
+        line = json.dumps({"key": "torn", "name": "café-sweep"}, ensure_ascii=False)
+        encoded = line.encode("utf-8")
+        cut = encoded.index(b"\xc3") + 1  # mid 'é' (0xC3 0xA9)
+        assert b"\xc3" in encoded
+        with store.results_file.open("ab") as handle:
+            handle.write(encoded[:cut])
+        reloaded = ResultStore(path)
+        assert "good" in reloaded and "torn" not in reloaded
+        assert reloaded.stale_lines == 1
+        report = reloaded.verify()
+        assert report.torn_lines == 1 and not report.clean
+
+    def test_truncation_inside_final_brace(self, tmp_path):
+        """Dropping only the closing '}' leaves a valid JSON *prefix* that
+        must still parse as torn, not as a record."""
+        path = tmp_path / "store"
+        store = ResultStore(path)
+        store.put({"key": "good", "value": 1})
+        line = json.dumps({"key": "almost", "value": 2})
+        assert line.endswith("}")
+        with store.results_file.open("a", encoding="utf-8") as handle:
+            handle.write(line[:-1])
+        reloaded = ResultStore(path)
+        assert "good" in reloaded and "almost" not in reloaded
+        assert reloaded.verify().torn_lines == 1
+
+    def test_concurrent_appends_interleave_whole_lines(self, tmp_path):
+        """Satellite: processes appending under the lock never tear each
+        other's lines."""
+        import multiprocessing
+
+        path = tmp_path / "store"
+        workers = [
+            multiprocessing.Process(target=_append_records, args=(path, w, 25))
+            for w in range(4)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        store = ResultStore(path)
+        assert len(store) == 100
+        report = store.verify()
+        assert report.clean, report.summary()
+        assert report.total_lines == 100
+
+
+class TestVerifyCompact:
+    def test_verify_counts_duplicates_and_drift(self, tmp_path):
+        path = tmp_path / "store"
+        store = ResultStore(path)
+        store.put({"key": "a", "status": "ok", "metrics": {}})
+        store.put({"key": "a", "status": "ok", "metrics": {}})  # superseded line
+        with store.results_file.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"key": "weird", "status": "???"}) + "\n")
+            handle.write(json.dumps(["not", "a", "record"]) + "\n")
+        report = store.verify()
+        assert report.duplicate_lines == 1
+        assert report.drifted_lines == 2
+        assert not report.clean
+        assert any("superseded" in issue for issue in report.issues)
+
+    def test_compact_drops_stale_lines_and_keeps_last_record(self, tmp_path):
+        path = tmp_path / "store"
+        store = ResultStore(path)
+        store.put({"key": "a", "status": "ok", "metrics": {}, "v": 1})
+        store.put({"key": "a", "status": "ok", "metrics": {}, "v": 2})
+        store.put({"key": "b", "status": "ok", "metrics": {}})
+        with store.results_file.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn-li')
+        store.refresh()
+        assert store.stale_lines == 2
+        dropped = store.compact()
+        assert dropped == 2
+        assert store.stale_lines == 0
+        assert store.get("a")["v"] == 2 and "b" in store
+        reloaded = ResultStore(path)
+        assert reloaded.verify().clean
+        assert len(reloaded) == 2
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "store", fsync="sometimes")
+        always = ResultStore(tmp_path / "store2", fsync="always")
+        always.put({"key": "a", "status": "ok", "metrics": {}})
+        assert ResultStore(tmp_path / "store2").get("a") is not None
+
+
+class TestStoreGrowth:
+    """Satellite: resume=False reruns grow the file; stale_lines + compact
+    keep the growth bounded and visible."""
+
+    def test_stale_lines_surface_in_campaign_result(self, tmp_path, spec):
+        store_path = tmp_path / "store"
+        first = run_campaign(spec, store=store_path, jobs=1)
+        assert first.stale_lines == 0
+        rerun = run_campaign(spec, store=store_path, jobs=1, resume=False,
+                             auto_compact=False)
+        assert rerun.stale_lines == 4  # every rerun superseded one line
+        again = run_campaign(spec, store=store_path, jobs=1, resume=False,
+                             auto_compact=False)
+        assert again.stale_lines == 8
+
+    def test_auto_compact_bounds_rerun_growth(self, tmp_path, spec):
+        store_path = tmp_path / "store"
+        result = run_campaign(spec, store=store_path, jobs=1)
+        # Threshold is max(live, 32): drive stale past it with reruns.
+        for _ in range(9):
+            result = run_campaign(spec, store=store_path, jobs=1, resume=False)
+        assert result.stale_lines == 0  # compaction fired and reset the counter
+        lines = store_path.joinpath("results.jsonl").read_bytes().count(b"\n")
+        assert lines == 4
+        assert ResultStore(store_path).verify().clean
+
+
+class TestLeases:
+    def test_acquire_is_exclusive_until_released(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.acquire_leases(["k1", "k2"], owner="a", ttl_s=30.0) == {"k1", "k2"}
+        assert store.acquire_leases(["k1", "k3"], owner="b", ttl_s=30.0) == {"k3"}
+        assert store.live_leases() == {"k1": "a", "k2": "a", "k3": "b"}
+        store.release_leases(["k1", "k2"], owner="b")  # not the owner: no-op
+        assert store.live_leases() == {"k1": "a", "k2": "a", "k3": "b"}
+        store.release_leases(["k1", "k2"], owner="a")
+        assert store.acquire_leases(["k1"], owner="b", ttl_s=30.0) == {"k1"}
+
+    def test_leases_expire_and_renew(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.acquire_leases(["k1"], owner="a", ttl_s=0.2)
+        store.acquire_leases(["k2"], owner="a", ttl_s=0.2)
+        store.renew_leases(["k1"], owner="a", ttl_s=30.0)
+        time.sleep(0.25)
+        assert store.live_leases() == {"k1": "a"}
+        assert store.acquire_leases(["k2"], owner="b", ttl_s=30.0) == {"k2"}
