@@ -9,6 +9,11 @@ Re-executes two committed rows of ``BENCH_simulator.json`` and gates them:
   counter in ``plane_signature`` must match byte-for-byte and every product
   must verify.
 
+It also gates the committed ``tracing`` row's overhead budgets: the
+disabled-tracer guard cost must stay under 2% of the untraced paper-scale
+run and the fully traced run under 15% -- the telemetry layer's
+zero-perturbation contract (``src/repro/obs/``).
+
 It additionally gates the committed ``BENCH_sweep.json`` (when present): the
 faulted-campaign row must exist, must have injected faults into >= 20% of
 runs, and must report ok-records byte-identical to the fault-free campaign
@@ -166,7 +171,32 @@ def main(argv=None) -> int:
         failures.append("baseline has no plane row; regenerate BENCH_simulator.json")
 
     # ------------------------------------------------------------------
-    # gate 3: the sweep engine's faulted-campaign row (chaos invariant)
+    # gate 3: the tracing overhead budgets (telemetry zero-perturbation)
+    # ------------------------------------------------------------------
+    traced = report.get("tracing")
+    if traced is None:
+        failures.append("baseline has no tracing row; regenerate BENCH_simulator.json")
+    else:
+        print(
+            f"tracing overhead: disabled {traced['disabled_overhead_pct']}% "
+            f"(budget 2%), traced paper-scale {traced['trace_overhead_pct']}% "
+            f"(budget 15%), {traced['round_spans']} round spans"
+        )
+        if traced["disabled_overhead_pct"] > 2.0:
+            failures.append(
+                f"disabled-tracer guard cost {traced['disabled_overhead_pct']}% "
+                "exceeds the 2% budget"
+            )
+        if traced["trace_overhead_pct"] > 15.0:
+            failures.append(
+                f"traced paper-scale overhead {traced['trace_overhead_pct']}% "
+                "exceeds the 15% budget"
+            )
+        if traced["round_spans"] < 1:
+            failures.append("traced paper-scale run emitted no round spans")
+
+    # ------------------------------------------------------------------
+    # gate 4: the sweep engine's faulted-campaign row (chaos invariant)
     # ------------------------------------------------------------------
     sweep_path = Path(args.sweep_baseline)
     if sweep_path.exists():

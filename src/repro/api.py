@@ -20,6 +20,7 @@ flat 3%, matching what the benchmark harness has always done.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.baselines.costs import CostPrediction
 from repro.core.cost_model import cosma_io_cost
 from repro.machine.simulator import DistributedMachine
 from repro.machine.transport import MODES, ShapeToken
+from repro.obs.trace import active_tracer
 from repro.pebbling.mmm_bounds import parallel_io_lower_bound, sequential_io_lower_bound
 from repro.utils.validation import check_positive_int
 from repro.workloads.scaling import Scenario
@@ -199,7 +201,25 @@ def multiply(
     else:
         a_in = np.asarray(a_matrix)
         b_in = np.asarray(b_matrix)
-    product = spec.run(a_in, b_in, scenario, machine, **options)
+    tracer = active_tracer()
+    run_span = (
+        tracer.span(
+            f"multiply:{spec.name}", cat="run",
+            args={
+                "algorithm": spec.name, "scenario": scenario.name,
+                "p": processors, "mode": mode,
+            },
+            track="run",
+        )
+        if tracer is not None
+        else nullcontext()
+    )
+    with run_span:
+        product = spec.run(a_in, b_in, scenario, machine, **options)
+        if machine.trace is not None:
+            # Flush activity after the last round boundary (or the whole run,
+            # for algorithms that never mark one) into a final round span.
+            machine.trace.commit_round(machine.peak_resident_words)
     machine.counters.assert_conservation()
 
     verified = mode != "volume"

@@ -13,22 +13,34 @@ Exposes the library's main entry points without writing any Python::
     python -m repro sequential --size 32 --memory 64 128 256
     python -m repro store verify  --store .sweep-cache
     python -m repro store compact --store .sweep-cache
+    python -m repro trace --out trace.json multiply --processors 16 --mode plane
+    python -m repro trace --out trace.json sweep --processors 4 16
 
 Algorithm names (and their choice lists) come from the algorithm registry
 (:mod:`repro.algorithms`); aliases like ``SUMMA`` or ``2.5D`` are accepted
 anywhere an algorithm is named.
 
 Each subcommand prints a plain-text report; exit code 0 means every executed
-multiplication verified against numpy.
+multiplication verified against numpy.  ``store verify`` has a documented
+exit-code contract: 0 = store is clean, 1 = store holds torn / duplicate /
+drifted lines, 2 = no store at the given path.
+
+Observability: the global ``--log-level`` flag configures the ``repro``
+logger hierarchy; ``multiply`` and ``sweep`` accept ``--trace FILE`` (write a
+Perfetto-loadable Chrome trace of the run) and ``--profile [N]`` (cProfile
+the command and print the top N cumulative entries); the ``trace``
+subcommand is the spelled-out form of ``--trace``.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import pstats
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -47,6 +59,14 @@ from repro.experiments.perf_model import simulated_time
 from repro.experiments.report import format_table, group_by_scenario
 from repro.machine.topology import MachineSpec
 from repro.machine.transport import MODES
+from repro.obs import (
+    LOG_LEVELS,
+    CampaignProgress,
+    configure_logging,
+    tracing,
+    write_chrome_trace,
+    write_event_log,
+)
 from repro.pebbling.mmm_bounds import near_optimal_sequential_io
 from repro.sequential import tiled_multiply
 from repro.sweeps import ResultStore, RetryPolicy, SweepSpec, run_campaign, scenario_summary_table, tidy_rows
@@ -56,14 +76,7 @@ from repro.workloads.scaling import extra_memory_sweep, limited_memory_sweep, st
 from repro.workloads.shapes import square_shape
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="COSMA reproduction: communication-optimal matrix multiplication on a simulated machine",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    p_mult = sub.add_parser("multiply", help="run one algorithm on random matrices and report its communication")
+def _add_multiply_args(p_mult: argparse.ArgumentParser) -> None:
     p_mult.add_argument("--m", type=int, default=256)
     p_mult.add_argument("--n", type=int, default=256)
     p_mult.add_argument("--k", type=int, default=256)
@@ -85,6 +98,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "(volume mode only; counters are byte-identical, runs much faster)"
         ),
     )
+
+
+def _add_instrumentation_flags(p: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--profile``, shared by the multiply and sweep commands."""
+    p.add_argument(
+        "--trace", default=None, metavar="TRACE.json",
+        help="run with tracing enabled and write a Chrome trace (open in ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--profile", type=int, nargs="?", const=25, default=None, metavar="N",
+        help="cProfile the command and print the top N cumulative entries (default 25)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COSMA reproduction: communication-optimal matrix multiplication on a simulated machine",
+    )
+    parser.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default="warning",
+        help="threshold for the 'repro' logger hierarchy on stderr (default: warning)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_mult = sub.add_parser("multiply", help="run one algorithm on random matrices and report its communication")
+    _add_multiply_args(p_mult)
+    _add_instrumentation_flags(p_mult)
 
     p_plan = sub.add_parser("plan", help="plan a run (grid / rounds / predicted words) without executing it")
     p_plan.add_argument("--m", type=int, required=True)
@@ -121,6 +162,78 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a cached, parallel scenario campaign (the sweep engine)",
     )
+    _add_sweep_args(p_sweep)
+    _add_instrumentation_flags(p_sweep)
+
+    p_bounds = sub.add_parser("bounds", help="print the analytic lower bounds and per-algorithm costs")
+    p_bounds.add_argument("--m", type=int, required=True)
+    p_bounds.add_argument("--n", type=int, required=True)
+    p_bounds.add_argument("--k", type=int, required=True)
+    p_bounds.add_argument("--processors", type=int, required=True)
+    p_bounds.add_argument("--memory", type=int, required=True)
+
+    p_grid = sub.add_parser("grid", help="show the processor grid COSMA would fit (FitRanks)")
+    p_grid.add_argument("--m", type=int, required=True)
+    p_grid.add_argument("--n", type=int, required=True)
+    p_grid.add_argument("--k", type=int, required=True)
+    p_grid.add_argument("--processors", type=int, required=True)
+    p_grid.add_argument("--memory", type=int, default=None)
+    p_grid.add_argument("--max-idle", type=float, default=0.03)
+
+    p_seq = sub.add_parser("sequential", help="measure sequential I/O of the tiled kernel vs the bound")
+    p_seq.add_argument("--size", type=int, default=32, help="m = n = k")
+    p_seq.add_argument("--memory", type=int, nargs="+", default=[64, 128, 256])
+    p_seq.add_argument("--seed", type=int, default=0)
+
+    p_store = sub.add_parser("store", help="inspect and maintain a sweep result store")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_verify = store_sub.add_parser(
+        "verify",
+        help="scan the store for torn, duplicate and schema-drifted lines (read-only)",
+        description=(
+            "Scan a result store without modifying it.  Exit codes: "
+            "0 = clean, 1 = dirty (torn / duplicate / drifted lines; "
+            "'repro store compact' restores cleanliness), 2 = no store at "
+            "the given path."
+        ),
+    )
+    p_verify.add_argument(
+        "--store", default=DEFAULT_STORE_PATH,
+        help=f"result-store directory (default: {DEFAULT_STORE_PATH})",
+    )
+    p_verify.add_argument(
+        "--json", action="store_true",
+        help="print the verify report as a JSON document instead of prose",
+    )
+    p_compact = store_sub.add_parser(
+        "compact", help="atomically rewrite the store keeping the last record per key",
+    )
+    p_compact.add_argument(
+        "--store", default=DEFAULT_STORE_PATH,
+        help=f"result-store directory (default: {DEFAULT_STORE_PATH})",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run multiply or sweep with tracing enabled and export a Chrome trace",
+    )
+    p_trace.add_argument(
+        "--out", dest="trace_out", default="trace.json", metavar="TRACE.json",
+        help="Chrome trace-event output file (default: trace.json; open in ui.perfetto.dev)",
+    )
+    p_trace.add_argument(
+        "--events", dest="trace_events", default=None, metavar="EVENTS.jsonl",
+        help="also write the raw span/event stream as JSON lines",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    t_mult = trace_sub.add_parser("multiply", help="traced variant of 'repro multiply'")
+    _add_multiply_args(t_mult)
+    t_sweep = trace_sub.add_parser("sweep", help="traced variant of 'repro sweep'")
+    _add_sweep_args(t_sweep)
+    return parser
+
+
+def _add_sweep_args(p_sweep: argparse.ArgumentParser) -> None:
     # Campaign flags default to None so _cmd_sweep can tell "explicitly
     # passed" from "defaulted" (a --spec file replaces all of them); the real
     # defaults live in _SWEEP_FLAG_DEFAULTS.
@@ -177,44 +290,14 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_sweep.add_argument("--full-table", action="store_true", help="print the full tidy table, not the per-scenario summary")
-
-    p_bounds = sub.add_parser("bounds", help="print the analytic lower bounds and per-algorithm costs")
-    p_bounds.add_argument("--m", type=int, required=True)
-    p_bounds.add_argument("--n", type=int, required=True)
-    p_bounds.add_argument("--k", type=int, required=True)
-    p_bounds.add_argument("--processors", type=int, required=True)
-    p_bounds.add_argument("--memory", type=int, required=True)
-
-    p_grid = sub.add_parser("grid", help="show the processor grid COSMA would fit (FitRanks)")
-    p_grid.add_argument("--m", type=int, required=True)
-    p_grid.add_argument("--n", type=int, required=True)
-    p_grid.add_argument("--k", type=int, required=True)
-    p_grid.add_argument("--processors", type=int, required=True)
-    p_grid.add_argument("--memory", type=int, default=None)
-    p_grid.add_argument("--max-idle", type=float, default=0.03)
-
-    p_seq = sub.add_parser("sequential", help="measure sequential I/O of the tiled kernel vs the bound")
-    p_seq.add_argument("--size", type=int, default=32, help="m = n = k")
-    p_seq.add_argument("--memory", type=int, nargs="+", default=[64, 128, 256])
-    p_seq.add_argument("--seed", type=int, default=0)
-
-    p_store = sub.add_parser("store", help="inspect and maintain a sweep result store")
-    store_sub = p_store.add_subparsers(dest="store_command", required=True)
-    p_verify = store_sub.add_parser(
-        "verify", help="scan the store for torn, duplicate and schema-drifted lines (read-only)",
+    p_sweep.add_argument(
+        "--json", action="store_true",
+        help="print the campaign result (summary, metrics, records) as one JSON document",
     )
-    p_verify.add_argument(
-        "--store", default=DEFAULT_STORE_PATH,
-        help=f"result-store directory (default: {DEFAULT_STORE_PATH})",
+    p_sweep.add_argument(
+        "--no-progress", dest="show_progress", action="store_false",
+        help="disable the live campaign heartbeat on stderr",
     )
-    p_compact = store_sub.add_parser(
-        "compact", help="atomically rewrite the store keeping the last record per key",
-    )
-    p_compact.add_argument(
-        "--store", default=DEFAULT_STORE_PATH,
-        help=f"result-store directory (default: {DEFAULT_STORE_PATH})",
-    )
-    return parser
 
 
 def _cmd_multiply(args: argparse.Namespace) -> int:
@@ -346,29 +429,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=values["seed"],
         )
     total = len(spec.expand())
-    print(
-        f"campaign '{spec.name}': {total} runs "
-        f"({len(spec.scenarios())} scenarios x {len(spec.algorithms)} algorithms, "
-        f"mode={spec.mode}, jobs={args.jobs}, store={args.out})"
-    )
-    retry = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts is not None else None
-    result = run_campaign(
-        spec, store=args.out, jobs=args.jobs, resume=args.resume,
-        retry_failures=args.retry_failures, compress_rounds=args.compress_rounds,
-        timeout_s=args.timeout_s, retry=retry,
-        memory_budget_words=args.memory_budget,
-    )
-    rows = tidy_rows(result.records)
-    print(
-        f"executed {result.executed}, cached {result.cached}, failed {result.failed} "
-        f"(pruned {result.pruned} as infeasible) in {result.elapsed_s:.2f}s"
-    )
-    if result.retried or result.quarantined or result.refused or result.deferred:
+    json_out = getattr(args, "json", False)
+    if not json_out:
         print(
-            f"fault tolerance: {result.retried} retries, {result.quarantined} quarantined, "
-            f"{result.refused} refused by the memory budget, {result.deferred} deferred to "
-            f"concurrent campaigns"
+            f"campaign '{spec.name}': {total} runs "
+            f"({len(spec.scenarios())} scenarios x {len(spec.algorithms)} algorithms, "
+            f"mode={spec.mode}, jobs={args.jobs}, store={args.out})"
         )
+    retry = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts is not None else None
+    heartbeat = (
+        CampaignProgress(total, store_path=args.out)
+        if getattr(args, "show_progress", True)
+        else None
+    )
+    try:
+        result = run_campaign(
+            spec, store=args.out, jobs=args.jobs, resume=args.resume,
+            retry_failures=args.retry_failures, compress_rounds=args.compress_rounds,
+            timeout_s=args.timeout_s, retry=retry,
+            memory_budget_words=args.memory_budget,
+            progress=heartbeat,
+        )
+    finally:
+        if heartbeat is not None:
+            heartbeat.close()
+    rows = tidy_rows(result.records)
+    exit_code = 0 if result.failed == 0 and all(row.get("correct", True) for row in rows) else 1
+    if json_out:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return exit_code
+    print(result.summary_line())
     if result.stale_lines:
         print(f"store holds {result.stale_lines} stale lines; run 'repro store compact' to drop them")
     if args.full_table:
@@ -382,7 +472,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"FAILED {row['scenario']} {row['algorithm']}: {row['error_type']}: {row['error_message']}")
     if spec.mode == "volume":
         print("\nnumerical verification skipped (volume mode: counters-only payloads)")
-    return 0 if result.failed == 0 and all(row.get("correct", True) for row in rows) else 1
+    return exit_code
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
@@ -415,6 +505,7 @@ def _cmd_sequential(args: argparse.Namespace) -> int:
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
+    """Exit codes: 0 = clean store, 1 = dirty store, 2 = no store at the path."""
     store_dir = Path(args.store)
     if not (store_dir / "results.jsonl").exists() and not store_dir.exists():
         print(f"error: no result store at {store_dir}", file=sys.stderr)
@@ -422,14 +513,45 @@ def _cmd_store(args: argparse.Namespace) -> int:
     store = ResultStore(store_dir)
     if args.store_command == "verify":
         report = store.verify()
-        print(report.summary())
-        for issue in report.issues:
-            print(f"  {issue}")
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+            for issue in report.issues:
+                print(f"  {issue}")
         return 0 if report.clean else 1
     dropped = store.compact()
     report = store.verify()
     print(f"dropped {dropped} stale lines; {report.summary()}")
     return 0 if report.clean else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run the wrapped multiply/sweep under tracing, then export the trace."""
+    handler = _COMMANDS[args.trace_command]
+    with tracing() as tracer:
+        code = handler(args)
+    write_chrome_trace(args.trace_out, tracer)
+    # Stderr so 'trace ... sweep --json' keeps machine-readable stdout.
+    print(
+        f"wrote Chrome trace ({len(tracer.events)} events) to {args.trace_out}; "
+        "open in ui.perfetto.dev",
+        file=sys.stderr,
+    )
+    if args.trace_events:
+        write_event_log(args.trace_events, tracer)
+        print(f"wrote event log to {args.trace_events}", file=sys.stderr)
+    return code
+
+
+def _profiled(handler: Callable[[argparse.Namespace], int], top_n: int):
+    def run(args: argparse.Namespace) -> int:
+        profiler = cProfile.Profile()
+        code = profiler.runcall(handler, args)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(top_n)
+        return code
+    return run
 
 
 _COMMANDS = {
@@ -441,6 +563,7 @@ _COMMANDS = {
     "grid": _cmd_grid,
     "sequential": _cmd_sequential,
     "store": _cmd_store,
+    "trace": _cmd_trace,
 }
 
 
@@ -448,7 +571,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    configure_logging(args.log_level)
+    handler = _COMMANDS[args.command]
+    profile_n = getattr(args, "profile", None)
+    if profile_n is not None:
+        handler = _profiled(handler, profile_n)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return handler(args)
+    # The --trace flag is the inline spelling of the 'trace' subcommand.
+    with tracing() as tracer:
+        code = handler(args)
+    write_chrome_trace(trace_path, tracer)
+    print(
+        f"wrote Chrome trace ({len(tracer.events)} events) to {trace_path}; "
+        "open in ui.perfetto.dev",
+        file=sys.stderr,
+    )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

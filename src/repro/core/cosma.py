@@ -20,6 +20,7 @@ product and the per-round volumes needed by the overlap performance model.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -427,67 +428,89 @@ def _cosma_batched(
     machine.check_memory()
     num_rounds = 0
     round_volumes: list[int] = []
-    for chunk_index, chunk_offset in enumerate(offsets):
-        if machine.compressor is not None:
-            replayed = machine.replay_round(round_fingerprint(chunk_offset))
-            if replayed is not None:
-                num_rounds += 1
-                round_volumes.append(replayed.max_words_delta)
-                continue
-        machine.counters.mark_round_start()
-        src_parts: list[np.ndarray] = []
-        dst_parts: list[np.ndarray] = []
-        word_parts: list[np.ndarray] = []
-        flop_ranks: list[np.ndarray] = []
-        flop_amounts: list[np.ndarray] = []
-        for kk in range(pk):
-            k0, k1 = k_ranges[kk]
-            c0 = min(k0 + chunk_offset, k1)
-            c1 = min(c0 + step, k1)
-            chunk_w = c1 - c0
-            if chunk_w <= 0:
-                continue
-            if pn > 1:
-                w = np.minimum(a_hi[kk], c1) - np.maximum(a_lo[kk], c0)
-                active = w > 0
-                if active.any():
-                    src_parts.append((a_srcs[:, active, :] + kk).ravel())
-                    dst_parts.append((a_dsts[:, active, :] + kk).ravel())
-                    word_parts.append(np.repeat(
-                        np.multiply.outer(lm, w[active]).ravel(), pn - 1
-                    ))
-            if pm > 1:
-                w = np.minimum(b_hi[kk], c1) - np.maximum(b_lo[kk], c0)
-                active = w > 0
-                if active.any():
-                    src_parts.append((b_srcs[:, active, :] + kk).ravel())
-                    dst_parts.append((b_dsts[:, active, :] + kk).ravel())
-                    word_parts.append(np.repeat(
-                        np.multiply.outer(ln, w[active]).ravel(), pm - 1
-                    ))
-            flop_ranks.append(ranks_of_layer[kk])
-            flop_amounts.append(mn_outer * (2 * chunk_w))
-        if src_parts:
-            machine.post_transfers(
-                np.concatenate(src_parts), np.concatenate(dst_parts),
-                np.concatenate(word_parts), kind="input",
-            )
-        if flop_ranks:
-            machine.post_flops(np.concatenate(flop_ranks), np.concatenate(flop_amounts))
-        num_rounds += 1
-        round_volumes.append(int(machine.counters.max_round_delta()))
-        machine.log_round(f"cosma-step-{chunk_index}")
-        machine.commit_round()
+    # Traced runs split the batched accounting loop from the stacked GEMMs
+    # below, so a plane-mode profile shows where the wall time actually goes.
+    trace = machine.trace
+    accounting_span = (
+        trace.tracer.span(
+            "cosma-counter-accounting", cat="phase",
+            args={"rounds": len(offsets), "mode": machine.mode},
+        )
+        if trace is not None
+        else nullcontext()
+    )
+    with accounting_span:
+        for chunk_index, chunk_offset in enumerate(offsets):
+            if machine.compressor is not None:
+                replayed = machine.replay_round(round_fingerprint(chunk_offset))
+                if replayed is not None:
+                    num_rounds += 1
+                    round_volumes.append(replayed.max_words_delta)
+                    continue
+            machine.counters.mark_round_start()
+            src_parts: list[np.ndarray] = []
+            dst_parts: list[np.ndarray] = []
+            word_parts: list[np.ndarray] = []
+            flop_ranks: list[np.ndarray] = []
+            flop_amounts: list[np.ndarray] = []
+            for kk in range(pk):
+                k0, k1 = k_ranges[kk]
+                c0 = min(k0 + chunk_offset, k1)
+                c1 = min(c0 + step, k1)
+                chunk_w = c1 - c0
+                if chunk_w <= 0:
+                    continue
+                if pn > 1:
+                    w = np.minimum(a_hi[kk], c1) - np.maximum(a_lo[kk], c0)
+                    active = w > 0
+                    if active.any():
+                        src_parts.append((a_srcs[:, active, :] + kk).ravel())
+                        dst_parts.append((a_dsts[:, active, :] + kk).ravel())
+                        word_parts.append(np.repeat(
+                            np.multiply.outer(lm, w[active]).ravel(), pn - 1
+                        ))
+                if pm > 1:
+                    w = np.minimum(b_hi[kk], c1) - np.maximum(b_lo[kk], c0)
+                    active = w > 0
+                    if active.any():
+                        src_parts.append((b_srcs[:, active, :] + kk).ravel())
+                        dst_parts.append((b_dsts[:, active, :] + kk).ravel())
+                        word_parts.append(np.repeat(
+                            np.multiply.outer(ln, w[active]).ravel(), pm - 1
+                        ))
+                flop_ranks.append(ranks_of_layer[kk])
+                flop_amounts.append(mn_outer * (2 * chunk_w))
+            if src_parts:
+                machine.post_transfers(
+                    np.concatenate(src_parts), np.concatenate(dst_parts),
+                    np.concatenate(word_parts), kind="input",
+                )
+            if flop_ranks:
+                machine.post_flops(np.concatenate(flop_ranks), np.concatenate(flop_amounts))
+            num_rounds += 1
+            round_volumes.append(int(machine.counters.max_round_delta()))
+            machine.log_round(f"cosma-step-{chunk_index}")
+            machine.commit_round()
 
     # ------------------------------------------------------------------
     # numerics: one GEMM per k-layer into the stacked C plane
     # ------------------------------------------------------------------
     if numeric:
-        a_data = np.asarray(a_matrix)
-        b_data = np.asarray(b_matrix)
-        for kk in range(pk):
-            k0, k1 = k_ranges[kk]
-            np.matmul(a_data[:, k0:k1], b_data[k0:k1, :], out=c_plane.data[kk])
+        gemm_span = (
+            trace.tracer.span(
+                "cosma-plane-gemm", cat="gemm",
+                args={"layers": pk, "m": m, "n": n, "k": k},
+                track="gemm",
+            )
+            if trace is not None
+            else nullcontext()
+        )
+        with gemm_span:
+            a_data = np.asarray(a_matrix)
+            b_data = np.asarray(b_matrix)
+            for kk in range(pk):
+                k0, k1 = k_ranges[kk]
+                np.matmul(a_data[:, k0:k1], b_data[k0:k1, :], out=c_plane.data[kk])
 
     # ------------------------------------------------------------------
     # C reduction along the k fibers (single np.add.reduce over the stack)

@@ -17,6 +17,7 @@ is what allows sweeps at the paper's true scale.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -25,6 +26,7 @@ import numpy as np
 from repro.algorithms import ALGORITHMS, DEFAULT_ALGORITHMS, get_algorithm
 from repro.machine.simulator import DistributedMachine
 from repro.machine.transport import MODES, ShapeToken
+from repro.obs.trace import active_tracer
 from repro.workloads.scaling import Scenario
 from repro.workloads.shapes import ProblemShape
 
@@ -197,7 +199,25 @@ def run_algorithm(
             run_plan = None
         if run_plan is not None and run_plan.feasible and run_plan.grid is not None:
             options["grid"] = run_plan.grid
-    product = spec.run(a_matrix, b_matrix, scenario, machine, **options)
+    tracer = active_tracer()
+    run_span = (
+        tracer.span(
+            f"run:{spec.name}", cat="run",
+            args={
+                "algorithm": spec.name, "scenario": scenario.name,
+                "p": scenario.p, "mode": mode,
+            },
+            track="run",
+        )
+        if tracer is not None
+        else nullcontext()
+    )
+    with run_span:
+        product = spec.run(a_matrix, b_matrix, scenario, machine, **options)
+        if machine.trace is not None:
+            # Flush activity after the last round boundary (or the whole run,
+            # for algorithms that never mark one) into a final round span.
+            machine.trace.commit_round(machine.peak_resident_words)
     verified = bool(verify) and mode != "volume"
     correct = True
     if verified:

@@ -108,6 +108,8 @@ def post_broadcast(
     which deliver the payload separately via stacked-array gathers.
     """
     order = _reorder_for_root(ranks, root)
+    if machine.trace is not None:
+        machine.trace.collective("broadcast", len(order))
     _post_hops(machine, order, broadcast_hops(len(order)), words, kind, combine=False)
 
 
@@ -124,6 +126,8 @@ def post_reduce(
     per hop charged to the accumulating rank.
     """
     order = _reorder_for_root(ranks, root)
+    if machine.trace is not None:
+        machine.trace.collective("reduce", len(order))
     _post_hops(machine, order, reduce_hops(len(order)), words, kind, combine=True)
 
 
@@ -144,6 +148,8 @@ def broadcast(
     """
     order = _reorder_for_root(ranks, root)
     q = len(order)
+    if machine.trace is not None:
+        machine.trace.collective("broadcast", q)
     hops = broadcast_hops(q)
     if machine.transport.counters_only and hops:
         _post_hops(machine, order, hops, payload_words(block), kind, combine=False)
@@ -175,6 +181,8 @@ def reduce(
     """
     order = _reorder_for_root(ranks, root)
     q = len(order)
+    if machine.trace is not None:
+        machine.trace.collective("reduce", q)
     for r in order:
         if r not in blocks:
             raise ValueError(f"rank {r} has no block to reduce")
@@ -224,6 +232,8 @@ def reduce_scatter_blocks(
     of MPI_Reduce_scatter with the same block sizes.
     """
     results: dict[int, np.ndarray] = {}
+    if machine.trace is not None:
+        machine.trace.collective("reduce_scatter", len(ranks))
     if machine.transport.counters_only:
         srcs: list[int] = []
         dsts: list[int] = []
@@ -281,6 +291,8 @@ def allgather(
     """
     order = list(ranks)
     q = len(order)
+    if machine.trace is not None:
+        machine.trace.collective("allgather", q)
     if machine.transport.counters_only and q > 1:
         # Whole-ring schedule in one batched update: over the q-1 steps the
         # rank at position pos forwards the blocks of positions pos, pos-1,
@@ -327,6 +339,8 @@ def scatter(
     for r in ranks:
         if r not in pieces:
             raise ValueError(f"scatter is missing the piece for rank {r}")
+    if machine.trace is not None:
+        machine.trace.collective("scatter", len(ranks))
     if machine.transport.counters_only:
         others = [r for r in ranks if r != root]
         machine.post_transfers(
@@ -361,6 +375,8 @@ def ring_shift(
     """
     order = list(ranks)
     q = len(order)
+    if machine.trace is not None:
+        machine.trace.collective("ring_shift", q)
     if machine.transport.counters_only:
         srcs: list[int] = []
         dsts: list[int] = []

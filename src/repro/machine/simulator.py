@@ -79,6 +79,7 @@ from repro.machine.transport import (
     payload_shape,
     payload_words,
 )
+from repro.obs.trace import MachineTrace, active_tracer
 from repro.utils.validation import check_positive_int
 
 
@@ -204,6 +205,18 @@ class DistributedMachine:
         #: Named :class:`~repro.machine.transport.PayloadPlane` stacks
         #: registered by plane-mode algorithms (one per logical operand).
         self.planes: dict[str, PayloadPlane] = {}
+        #: Round-span accumulator, attached only while tracing is enabled
+        #: (:mod:`repro.obs.trace`).  Every instrumentation site guards on
+        #: ``is not None`` and only ever *reads* machine state, so counters
+        #: are byte-identical traced vs untraced.
+        tracer = active_tracer()
+        self.trace: MachineTrace | None = (
+            MachineTrace(tracer, self.counters.matrix.data, self.transport.mode)
+            if tracer is not None
+            else None
+        )
+        if self.trace is not None:
+            self.transport.observer = self.trace
 
     # ------------------------------------------------------------------
     # basic rank access
@@ -302,6 +315,8 @@ class DistributedMachine:
         if count_round:
             data[ROUNDS, src] += 1
             data[ROUNDS, dst] += 1
+        if self.trace is not None:
+            self.trace.hop()
         return self.transport.deliver(block)
 
     def post_transfers(
@@ -321,6 +336,8 @@ class DistributedMachine:
         instead of iterating :class:`Rank` objects.
         """
         self.counters.post_transfers(srcs, dsts, words, kind=kind, count_rounds=count_rounds)
+        if self.trace is not None:
+            self.trace.hops_batch(len(srcs))
 
     def sendrecv(
         self,
@@ -471,6 +488,8 @@ class DistributedMachine:
 
     def log_round(self, label: str) -> None:
         self.round_log.append(label)
+        if self.trace is not None:
+            self.trace.end_round(label, self.peak_resident_words)
 
     # ------------------------------------------------------------------
     # steady-state round compression
@@ -489,10 +508,17 @@ class DistributedMachine:
         """
         if self.compressor is None:
             return None
-        return self.compressor.replay(fingerprint)
+        delta = self.compressor.replay(fingerprint)
+        # Replayed rounds skip log_round; emit their span here so a traced
+        # compressed run still shows one span per counted round.
+        if delta is not None and self.trace is not None:
+            self.trace.end_round("replay", self.peak_resident_words, replayed=True)
+        return delta
 
     def commit_round(self) -> None:
         """Capture the just-executed round's counter delta for future replays."""
+        if self.trace is not None:
+            self.trace.commit_round(self.peak_resident_words)
         if self.compressor is not None:
             self.compressor.commit()
 

@@ -333,6 +333,12 @@ class Transport:
     #: stacks.  Algorithms without a plane path simply ignore the flag and
     #: fall back to the per-hop delivery semantics of the transport.
     planar = False
+    #: Delivery observer (a :class:`repro.obs.trace.MachineTrace`), set by
+    #: the machine only while tracing is enabled.  ``None`` costs a single
+    #: attribute check per delivery; observers only count, never copy, so
+    #: payload semantics (and counters) are identical either way.  Self-copy
+    #: shortcuts share the delivery path and are therefore observed too.
+    observer = None
 
     def deliver(self, block):
         """The buffer the receiver of a counted transfer obtains."""
@@ -359,6 +365,8 @@ class LegacyTransport(Transport):
     mode = "legacy"
 
     def deliver(self, block):
+        if self.observer is not None:
+            self.observer.delivery(payload_words(block))
         if isinstance(block, ShapeToken):
             return block.copy()
         return np.asarray(block).copy()
@@ -375,6 +383,8 @@ class ZeroCopyTransport(Transport):
     mode = "zerocopy"
 
     def deliver(self, block):
+        if self.observer is not None:
+            self.observer.delivery(payload_words(block))
         if isinstance(block, ShapeToken):
             return block.copy()
         view = np.asarray(block).view()
@@ -408,6 +418,8 @@ class VolumeTransport(Transport):
     counters_only = True
 
     def deliver(self, block):
+        if self.observer is not None:
+            self.observer.delivery(payload_words(block))
         return ShapeToken(payload_shape(block))
 
     self_copy = deliver

@@ -1,0 +1,63 @@
+"""The ``repro`` logging hierarchy.
+
+Every module logs through ``logging.getLogger("repro.<area>")`` obtained via
+:func:`get_logger`; :func:`configure_logging` attaches one stream handler to
+the ``repro`` root (idempotently) and sets its level -- the CLI's global
+``--log-level`` flag lands here.  Library code never calls ``basicConfig``
+or touches the root logger, so embedding applications keep full control.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER = "repro"
+
+#: Accepted ``--log-level`` names (any ``logging`` level name works too).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Marker attribute identifying the handler configure_logging installed.
+_HANDLER_MARK = "_repro_cli_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` logger, or a child like ``get_logger("sweeps")``."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(level: str | int = "warning", stream=None) -> logging.Logger:
+    """Configure the ``repro`` root logger for console output; idempotent.
+
+    Re-invoking replaces the level (and stream) of the previously installed
+    handler instead of stacking a second one, so tests and long-lived
+    sessions can reconfigure freely.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}; known: {LOG_LEVELS}")
+        level = resolved
+    logger = logging.getLogger(ROOT_LOGGER)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_MARK, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        setattr(handler, _HANDLER_MARK, True)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    elif stream is not None:
+        try:
+            handler.setStream(stream)
+        except ValueError:
+            # setStream flushes the old stream first; if that stream is
+            # already closed (a captured/redirected stderr torn down by a
+            # test harness), swap it out directly.
+            handler.stream = stream
+    logger.setLevel(level)
+    return logger

@@ -62,6 +62,7 @@ from repro.sweeps.aggregate import (
 )
 from repro.sweeps.faults import FaultPlan, TransientFault
 from repro.sweeps.runner import (
+    METRICS_SIDECAR,
     NO_RETRY,
     CampaignResult,
     RetryPolicy,
@@ -75,6 +76,7 @@ __all__ = [
     "CampaignResult",
     "FaultPlan",
     "KEY_VERSION",
+    "METRICS_SIDECAR",
     "NO_RETRY",
     "ResultStore",
     "RetryPolicy",

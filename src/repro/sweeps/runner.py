@@ -49,6 +49,7 @@ faulted or not.
 from __future__ import annotations
 
 import heapq
+import json
 import multiprocessing
 import os
 import signal
@@ -58,10 +59,14 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.algorithms import get_algorithm
 from repro.experiments.harness import AlgorithmRun, RunFailure, run_algorithm_safe
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import active_tracer
 from repro.sweeps.faults import FaultPlan, _uniform
 from repro.sweeps.spec import RunRequest, SweepSpec, request_from_dict
 from repro.sweeps.store import (
@@ -70,6 +75,13 @@ from repro.sweeps.store import (
     record_to_run,
     run_to_record,
 )
+
+_LOG = get_logger("sweeps")
+
+#: Filename of the campaign-metrics sidecar written beside the result store.
+#: Metrics live here -- never inside ok-records, which stay pure functions of
+#: the run parameters (the chaos-harness invariant).
+METRICS_SIDECAR = "campaign_metrics.json"
 
 #: Default store directory, relative to the current working directory.
 DEFAULT_STORE_PATH = ".sweep-cache"
@@ -161,6 +173,11 @@ class CampaignResult:
     #: Store lines a compaction would drop, as of campaign end (see
     #: :attr:`~repro.sweeps.store.ResultStore.stale_lines`).
     stale_lines: int = 0
+    #: Snapshot of the supervisor's :class:`~repro.obs.metrics.MetricsRegistry`
+    #: at campaign end (worker spawns/deaths, retries, queue depth, per-run
+    #: latency histogram).  Also persisted as ``campaign_metrics.json`` beside
+    #: the store; never part of any run record.
+    metrics: dict | None = None
     _runs: list[AlgorithmRun] | None = field(default=None, repr=False)
 
     @property
@@ -176,6 +193,49 @@ class CampaignResult:
         if self._runs is None:
             self._runs = [record_to_run(r) for r in self.ok_records]
         return self._runs
+
+    def summary_line(self) -> str:
+        """One human-readable line summarizing the campaign outcome."""
+        parts = [
+            f"campaign: {len(self.records)} records",
+            f"ok={len(self.records) - self.failed}",
+            f"failed={self.failed}",
+            f"executed={self.executed}",
+            f"cached={self.cached}",
+        ]
+        for label, value in (
+            ("pruned", self.pruned), ("refused", self.refused),
+            ("deferred", self.deferred), ("retried", self.retried),
+            ("quarantined", self.quarantined),
+        ):
+            if value:
+                parts.append(f"{label}={value}")
+        parts.append(f"elapsed={self.elapsed_s:.2f}s")
+        if self.store_path:
+            parts.append(f"store={self.store_path}")
+        return " ".join(parts)
+
+    def to_dict(self, include_records: bool = True) -> dict:
+        """JSON-serializable view of the campaign (``repro sweep --json``)."""
+        doc = {
+            "total": len(self.records),
+            "ok": len(self.records) - self.failed,
+            "failed": self.failed,
+            "executed": self.executed,
+            "cached": self.cached,
+            "pruned": self.pruned,
+            "refused": self.refused,
+            "deferred": self.deferred,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "stale_lines": self.stale_lines,
+            "store_path": self.store_path,
+            "metrics": self.metrics,
+        }
+        if include_records:
+            doc["records"] = self.records
+        return doc
 
 
 def execute_request(request: RunRequest) -> dict:
@@ -324,7 +384,7 @@ class _WorkerSlot:
 # Supervisor side
 # ---------------------------------------------------------------------------
 class _Task:
-    __slots__ = ("request", "key", "attempts", "duration_s", "seq")
+    __slots__ = ("request", "key", "attempts", "duration_s", "seq", "t0_ns")
 
     def __init__(self, request: RunRequest, seq: int):
         self.request = request
@@ -332,6 +392,8 @@ class _Task:
         self.attempts = 0
         self.duration_s = 0.0
         self.seq = seq
+        #: Tracer timestamp of the first dispatch (``None`` when untraced).
+        self.t0_ns: int | None = None
 
 
 @dataclass
@@ -374,6 +436,7 @@ class _Supervisor:
         progress: Callable[[dict, bool], None] | None,
         renew: Callable[[list[str]], None] | None = None,
         renew_interval_s: float = 5.0,
+        metrics: MetricsRegistry | None = None,
     ):
         self.tasks = [_Task(request, seq) for seq, request in enumerate(requests)]
         self.jobs = max(1, min(jobs, len(self.tasks)))
@@ -384,10 +447,23 @@ class _Supervisor:
         self.progress = progress
         self.renew = renew
         self.renew_interval_s = renew_interval_s
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = active_tracer()
         self.stats = _ExecStats()
         self.queue: deque[_Task] = deque(self.tasks)
         self.retry_heap: list[tuple[float, int, _Task]] = []
         self.unfinished: set[str] = {task.key for task in self.tasks}
+
+    def _run_span(self, task: _Task, status: str) -> None:
+        """Emit one campaign-track span covering the run's supervised lifetime."""
+        if self.tracer is None or task.t0_ns is None:
+            return
+        self.tracer.complete(
+            f"run:{task.key}", "campaign", task.t0_ns,
+            self.tracer.now_ns() - task.t0_ns,
+            args={"status": status, "attempts": task.attempts},
+            track="campaign",
+        )
 
     # -- outcome handling ---------------------------------------------------
     def _store(self, record: dict) -> None:
@@ -399,6 +475,9 @@ class _Supervisor:
         self._store(record)
         self.stats.ok += 1
         self.unfinished.discard(task.key)
+        self.metrics.counter("sweeps.runs.ok").inc()
+        self.metrics.histogram("sweeps.run.latency_s").observe(task.duration_s)
+        self._run_span(task, "ok")
 
     def _quarantine(self, task: _Task, error_type: str, message: str,
                     tb_tail: str, exit_signal: int | None, retryable: bool) -> None:
@@ -417,6 +496,13 @@ class _Supervisor:
         self._store(failure_to_record(failure, task.key, seed=task.request.seed))
         self.stats.quarantined += 1
         self.unfinished.discard(task.key)
+        self.metrics.counter("sweeps.runs.quarantined").inc()
+        self.metrics.histogram("sweeps.run.latency_s").observe(task.duration_s)
+        self._run_span(task, "quarantined")
+        _LOG.warning(
+            "quarantined %s after %d attempt(s): %s: %s",
+            task.key, task.attempts, error_type, message,
+        )
 
     def _resolve_failure(self, task: _Task, error_type: str, message: str,
                          tb_tail: str = "", exit_signal: int | None = None,
@@ -424,7 +510,13 @@ class _Supervisor:
         retryable = self.policy.is_retryable(error_type)
         if allow_retry and retryable and task.attempts < self.policy.max_attempts:
             self.stats.retried += 1
-            eligible_at = time.monotonic() + self.policy.backoff(task.key, task.attempts)
+            self.metrics.counter("sweeps.runs.retried").inc()
+            backoff = self.policy.backoff(task.key, task.attempts)
+            _LOG.info(
+                "retrying %s after %s (attempt %d/%d, backoff %.3fs)",
+                task.key, error_type, task.attempts, self.policy.max_attempts, backoff,
+            )
+            eligible_at = time.monotonic() + backoff
             heapq.heappush(self.retry_heap, (eligible_at, task.seq, task))
             return
         self._quarantine(task, error_type, message, tb_tail, exit_signal, retryable)
@@ -458,6 +550,12 @@ class _Supervisor:
         exit_signal = -exitcode if exitcode is not None and exitcode < 0 else None
         task.duration_s += time.monotonic() - slot.started
         slot.respawn()
+        self.metrics.counter("sweeps.workers.deaths").inc()
+        self.metrics.counter("sweeps.workers.spawns").inc()
+        _LOG.warning(
+            "worker died mid-run on %s (exit code %s); respawned",
+            task.key, exitcode,
+        )
         self._resolve_failure(
             task, "WorkerCrash",
             f"worker process died mid-run (exit code {exitcode})",
@@ -470,6 +568,12 @@ class _Supervisor:
         slot.kill()
         task.duration_s += time.monotonic() - slot.started
         slot.respawn()
+        self.metrics.counter("sweeps.workers.timeouts").inc()
+        self.metrics.counter("sweeps.workers.spawns").inc()
+        _LOG.warning(
+            "run %s exceeded the %ss deadline; worker killed and respawned",
+            task.key, self.timeout_s,
+        )
         self._resolve_failure(
             task, "RunTimeout",
             f"run exceeded the {self.timeout_s}s wall-clock deadline",
@@ -483,12 +587,15 @@ class _Supervisor:
         ctx = multiprocessing.get_context()
         faults_payload = self.faults.to_dict() if self.faults is not None else None
         workers = [_WorkerSlot(ctx, faults_payload) for _ in range(self.jobs)]
+        self.metrics.counter("sweeps.workers.spawns").inc(len(workers))
+        queue_depth = self.metrics.gauge("sweeps.queue.depth")
         last_renew = time.monotonic()
         try:
             while self.unfinished:
                 now = time.monotonic()
                 while self.retry_heap and self.retry_heap[0][0] <= now:
                     self.queue.append(heapq.heappop(self.retry_heap)[2])
+                queue_depth.set(len(self.queue) + len(self.retry_heap))
                 for slot in workers:
                     if slot.task is None and self.queue:
                         task = self.queue.popleft()
@@ -499,9 +606,12 @@ class _Supervisor:
                             task.attempts -= 1
                             self.queue.appendleft(task)
                             slot.respawn()
+                            self.metrics.counter("sweeps.workers.spawns").inc()
                             continue
                         slot.task = task
                         slot.started = time.monotonic()
+                        if self.tracer is not None and task.t0_ns is None:
+                            task.t0_ns = self.tracer.now_ns()
                 if self.renew is not None and time.monotonic() - last_renew >= self.renew_interval_s:
                     self.renew(sorted(self.unfinished))
                     last_renew = time.monotonic()
@@ -569,6 +679,7 @@ def _execute_serially(
     progress: Callable[[dict, bool], None] | None,
     renew: Callable[[list[str]], None] | None = None,
     renew_interval_s: float = 5.0,
+    metrics: MetricsRegistry | None = None,
 ) -> _ExecStats:
     """In-process execution with the same retry/quarantine semantics.
 
@@ -578,12 +689,15 @@ def _execute_serially(
     ``None`` in-process).
     """
     stats = _ExecStats()
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    tracer = active_tracer()
     requests = list(requests)
     remaining = [request.key for request in requests]
     last_renew = time.monotonic()
     for request in requests:
         attempts = 0
         total_duration = 0.0
+        t0_ns = tracer.now_ns() if tracer is not None else None
         while True:
             attempts += 1
             start = time.perf_counter()
@@ -594,7 +708,13 @@ def _execute_serially(
                 retryable = policy.is_retryable(error_type)
                 if retryable and attempts < policy.max_attempts:
                     stats.retried += 1
-                    time.sleep(policy.backoff(request.key, attempts))
+                    metrics.counter("sweeps.runs.retried").inc()
+                    backoff = policy.backoff(request.key, attempts)
+                    _LOG.info(
+                        "retrying %s after %s (attempt %d/%d, backoff %.3fs)",
+                        request.key, error_type, attempts, policy.max_attempts, backoff,
+                    )
+                    time.sleep(backoff)
                     continue
                 record["error"].update(
                     attempts=attempts,
@@ -602,8 +722,26 @@ def _execute_serially(
                     retryable=retryable,
                 )
                 stats.quarantined += 1
+                metrics.counter("sweeps.runs.quarantined").inc()
+                _LOG.warning(
+                    "quarantined %s after %d attempt(s): %s: %s",
+                    request.key, attempts, error_type,
+                    record["error"].get("message", ""),
+                )
             else:
                 stats.ok += 1
+                metrics.counter("sweeps.runs.ok").inc()
+            metrics.histogram("sweeps.run.latency_s").observe(total_duration)
+            if tracer is not None and t0_ns is not None:
+                tracer.complete(
+                    f"run:{request.key}", "campaign", t0_ns,
+                    tracer.now_ns() - t0_ns,
+                    args={
+                        "status": record.get("status", "ok"),
+                        "attempts": attempts,
+                    },
+                    track="campaign",
+                )
             store.put(record)
             if progress is not None:
                 progress(record, False)
@@ -836,6 +974,8 @@ def run_campaign(
             _store.renew_leases(keys, _owner, ttl_s=_ttl)
     renew_interval_s = max(lease_ttl_s / 3.0, 0.5)
 
+    registry = MetricsRegistry()
+
     def _execute_batch(batch: dict[str, RunRequest], batch_jobs: int) -> _ExecStats:
         if not batch:
             return _ExecStats()
@@ -843,10 +983,12 @@ def run_campaign(
             return _Supervisor(
                 batch.values(), batch_jobs, store, policy, timeout_s, faults,
                 progress, renew=renew, renew_interval_s=renew_interval_s,
+                metrics=registry,
             ).run()
         return _execute_serially(
             batch.values(), store, policy, progress,
             renew=renew, renew_interval_s=renew_interval_s,
+            metrics=registry,
         )
 
     stats = _ExecStats()
@@ -863,6 +1005,9 @@ def run_campaign(
                 store.release_leases(granted, owner)
 
         # -- wait on keys a concurrent campaign is executing -----------------
+        lease_wait_start = time.perf_counter() if deferred_keys else None
+        if deferred_keys:
+            registry.counter("sweeps.lease.deferred").inc(len(deferred_keys))
         while deferred_keys:
             store.refresh()
             found = {key for key in deferred_keys if key in store}
@@ -876,6 +1021,11 @@ def run_campaign(
             # Reclaim keys whose campaign died (their leases lapsed).
             reclaimed = store.acquire_leases(deferred_keys, owner, ttl_s=lease_ttl_s)
             if reclaimed:
+                registry.counter("sweeps.lease.reclaimed").inc(len(reclaimed))
+                _LOG.info(
+                    "reclaimed %d lapsed lease(s) from a dead campaign: %s",
+                    len(reclaimed), ", ".join(sorted(reclaimed)[:4]),
+                )
                 try:
                     stats.merge(_execute_batch(
                         {key: to_execute[key] for key in to_execute if key in reclaimed},
@@ -886,6 +1036,10 @@ def run_campaign(
                 deferred_keys -= reclaimed
                 continue
             time.sleep(0.05)
+        if lease_wait_start is not None:
+            registry.histogram("sweeps.lease.wait_s").observe(
+                time.perf_counter() - lease_wait_start
+            )
     finally:
         restore_sigterm()
 
@@ -904,12 +1058,22 @@ def run_campaign(
             raise RuntimeError(f"campaign finished but key {key} is missing from the store")
         records.append(record)
 
+    elapsed_s = time.perf_counter() - start
+    registry.gauge("sweeps.campaign.executed").set(stats.executed)
+    registry.gauge("sweeps.campaign.cached").set(cached)
+    registry.gauge("sweeps.campaign.pruned").set(pruned)
+    registry.gauge("sweeps.campaign.refused").set(refused)
+    registry.gauge("sweeps.campaign.deferred").set(deferred_resolved)
+    registry.gauge("sweeps.campaign.elapsed_s").set(round(elapsed_s, 6))
+    metrics = registry.snapshot()
+    _write_metrics_sidecar(store, metrics)
+
     return CampaignResult(
         records=records,
         executed=stats.executed,
         cached=cached,
         failed=sum(1 for r in records if r.get("status") == "failed"),
-        elapsed_s=time.perf_counter() - start,
+        elapsed_s=elapsed_s,
         pruned=pruned,
         store_path=str(store.path),
         retried=stats.retried,
@@ -917,4 +1081,21 @@ def run_campaign(
         refused=refused,
         deferred=deferred_resolved,
         stale_lines=store.stale_lines,
+        metrics=metrics,
     )
+
+
+def _write_metrics_sidecar(store: ResultStore, metrics: dict) -> None:
+    """Persist the campaign's metrics snapshot beside the result store.
+
+    Written atomically (temp file + rename) so a concurrent reader never
+    sees a torn document; best-effort -- a read-only store directory must
+    not fail the campaign whose records already landed.
+    """
+    try:
+        directory = Path(store.path)
+        tmp = directory / (METRICS_SIDECAR + ".tmp")
+        tmp.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, directory / METRICS_SIDECAR)
+    except OSError as exc:  # pragma: no cover - filesystem-dependent
+        _LOG.warning("could not write %s: %s", METRICS_SIDECAR, exc)

@@ -277,6 +277,22 @@ class StoreVerifyReport:
             f"{self.live_leases} live leases"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable report (``repro store verify --json``)."""
+        return {
+            "path": self.path,
+            "clean": self.clean,
+            "total_lines": self.total_lines,
+            "live_records": self.live_records,
+            "ok_records": self.ok_records,
+            "failed_records": self.failed_records,
+            "torn_lines": self.torn_lines,
+            "duplicate_lines": self.duplicate_lines,
+            "drifted_lines": self.drifted_lines,
+            "live_leases": self.live_leases,
+            "issues": list(self.issues),
+        }
+
 
 # ---------------------------------------------------------------------------
 # The store itself

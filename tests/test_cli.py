@@ -113,14 +113,14 @@ class TestSweepCommand:
         code = main(argv)
         out = capsys.readouterr().out
         assert code == 0
-        assert "executed 4, cached 0, failed 0" in out
+        assert "failed=0 executed=4 cached=0" in out
         assert "COSMA words/rank" in out
         assert "volume mode" in out
 
         code = main(argv)
         out = capsys.readouterr().out
         assert code == 0
-        assert "executed 0, cached 4, failed 0" in out
+        assert "failed=0 executed=0 cached=4" in out
 
     def test_parallel_jobs(self, capsys, tmp_path):
         code = main([
@@ -129,7 +129,7 @@ class TestSweepCommand:
             "--jobs", "2", "--out", str(tmp_path / "store"),
         ])
         assert code == 0
-        assert "executed 1, cached 0, failed 0" in capsys.readouterr().out
+        assert "failed=0 executed=1 cached=0" in capsys.readouterr().out
 
     def test_spec_file(self, capsys, tmp_path):
         import json
@@ -259,4 +259,4 @@ class TestStoreCommand:
         out = capsys.readouterr().out
         # 64 words/rank * 4 ranks = 256 words predicted > 100-word budget.
         assert code == 1
-        assert "refused by the memory budget" in out
+        assert "refused=1" in out

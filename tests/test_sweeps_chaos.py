@@ -59,6 +59,7 @@ def _write_chaos_report(records, result) -> None:
         "executed": result.executed,
         "retried": result.retried,
         "quarantined": result.quarantined,
+        "metrics": result.metrics,
         "failed_records": [
             {"key": r["key"], "error": r["error"]}
             for r in records
