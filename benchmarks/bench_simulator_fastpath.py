@@ -96,6 +96,28 @@ PAPER_SCALE = (
     )
 )
 
+#: The extra-large verified point the sharded engine unlocks: p = 4096,
+#: 8192^3, float32 planes.  Runs only when a multi-shard pool is available
+#: (the row records a skip reason otherwise); smoke scale substitutes a
+#: 1024^3, p = 64 stand-in so CI still exercises the code path.
+PAPER_XL = (
+    Scenario(
+        name="square-smoke-xl-p64",
+        shape=square_shape(1024),
+        p=64,
+        memory_words=101_000,
+        regime="limited",
+    )
+    if SMOKE
+    else Scenario(
+        name="square-paper-p4096",
+        shape=square_shape(8192),
+        p=4096,
+        memory_words=101_000,
+        regime="limited",
+    )
+)
+
 #: Paper-scale volume-mode seconds of the pre-batched engine (PR 1's
 #: ``BENCH_simulator.json``): one Python-level round at a time, 2535 rounds.
 #: The batched counter engine + round compression must beat it by >= 5x.
@@ -229,6 +251,91 @@ def _counter_signature(runs: list) -> list[tuple]:
     ]
 
 
+def _sharded_plane_row(paper_plane_seconds: float, paper_plane) -> dict:
+    """Paper-scale plane run through the sharded engine.
+
+    On a multi-core box this spawns a shard pool (``REPRO_BENCH_SHARDS``
+    overrides the ``os.cpu_count()`` default) and times the same paper-scale
+    point sharded; counters must match the unsharded run byte-for-byte.  On a
+    single-core box (or where shared memory is unavailable) the engine
+    degrades to shards=1 -- the row then reuses the already-measured unsharded
+    numbers and records the skip reason, so the report never lies about what
+    actually ran.
+    """
+    from repro.machine.shard import available_shards
+
+    requested = int(os.environ.get("REPRO_BENCH_SHARDS", "0") or 0) or (os.cpu_count() or 1)
+    effective, reason = available_shards(max(2, requested))
+    row = {
+        "scenario": PAPER_SCALE.name,
+        "p": PAPER_SCALE.p,
+        "shape": f"square m=n=k={PAPER_SCALE.shape.m}",
+        "memory_words": PAPER_SCALE.memory_words,
+        "plane_dtype": "float64",
+        "requested_shards": requested,
+        "shards": effective,
+        "skip_reason": reason,
+    }
+    if effective > 1:
+        start = time.perf_counter()
+        run = run_algorithm(
+            "COSMA", PAPER_SCALE, mode="plane", verify=True, shards=effective
+        )
+        sharded_seconds = time.perf_counter() - start
+    else:
+        run, sharded_seconds = paper_plane, paper_plane_seconds
+    row.update({
+        "seconds": round(sharded_seconds, 2),
+        "unsharded_seconds": round(paper_plane_seconds, 2),
+        "speedup_vs_unsharded": (
+            round(paper_plane_seconds / sharded_seconds, 2)
+            if sharded_seconds > 0
+            else None
+        ),
+        "verified": run.verified,
+        "correct": run.correct,
+        "counters_identical": (
+            _counter_signature([run]) == _counter_signature([paper_plane])
+        ),
+        "counter_signature": [list(entry) for entry in _counter_signature([run])],
+    })
+    return row
+
+
+def _paper_xl_row(effective_shards: int, skip_reason: str | None) -> dict:
+    """The first verified numeric p=4096, 8192^3 point (float32 planes).
+
+    Too large for a single in-process GEMM loop to be worth waiting for, so
+    it runs only when the shard pool actually has >= 2 workers; otherwise the
+    row records why it was skipped (e.g. ``cpu_count=1``) instead of
+    silently omitting the point.
+    """
+    row = {
+        "scenario": PAPER_XL.name,
+        "p": PAPER_XL.p,
+        "shape": f"square m=n=k={PAPER_XL.shape.m}",
+        "memory_words": PAPER_XL.memory_words,
+        "plane_dtype": "float32",
+        "shards": effective_shards,
+    }
+    if effective_shards < 2:
+        row["skipped"] = skip_reason or "needs a multi-core box"
+        return row
+    start = time.perf_counter()
+    run = run_algorithm(
+        "COSMA", PAPER_XL, mode="plane", verify=True,
+        shards=effective_shards, plane_dtype="float32",
+    )
+    row.update({
+        "seconds": round(time.perf_counter() - start, 2),
+        "verified": run.verified,
+        "correct": run.correct,
+        "rounds": run.rounds,
+        "total_flops": run.total_flops,
+    })
+    return row
+
+
 def run_fastpath_benchmark() -> dict:
     """Time the shared sweep in all four modes plus the paper-scale points."""
     seconds: dict[str, float] = {}
@@ -256,6 +363,12 @@ def run_fastpath_benchmark() -> dict:
     start = time.perf_counter()
     paper_plane = run_algorithm("COSMA", PAPER_SCALE, mode="plane", verify=True)
     paper_plane_seconds = time.perf_counter() - start
+
+    # The sharded engine on the same paper-scale point (falls back to the
+    # unsharded numbers, with a recorded reason, on single-core boxes), plus
+    # the XL point only a sharded pool makes tractable.
+    plane_sharded = _sharded_plane_row(paper_plane_seconds, paper_plane)
+    paper_xl = _paper_xl_row(plane_sharded["shards"], plane_sharded["skip_reason"])
 
     tracing_overhead = _measure_trace_overhead()
 
@@ -308,6 +421,8 @@ def run_fastpath_benchmark() -> dict:
             "rounds": paper_plane.rounds,
             "total_flops": paper_plane.total_flops,
         },
+        "plane_sharded": plane_sharded,
+        "paper_xl_plane_sharded": paper_xl,
         "tracing": tracing_overhead,
     }
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -332,6 +447,11 @@ def test_simulator_fastpath():
                [report["paper_scale_volume_mode"]])
     print_rows("Paper-scale numeric run (plane mode, verification on)",
                [report["paper_scale_plane_mode"]])
+    print_rows("Paper-scale sharded plane run",
+               [{k: v for k, v in report["plane_sharded"].items()
+                 if k != "counter_signature"}])
+    print_rows("XL numeric point (p=4096, 8192^3, float32, sharded)",
+               [report["paper_xl_plane_sharded"]])
     print_rows("Tracing overhead (paper-scale volume, compress_rounds=True)",
                [report["tracing"]])
     assert shared["counters_identical"], "modes disagree on communication counters"
@@ -344,6 +464,21 @@ def test_simulator_fastpath():
     assert paper_plane["verified"] and paper_plane["correct"]
     assert paper_plane["total_flops"] == paper["total_flops"]
     assert paper_plane["rounds"] == paper["rounds"]
+    sharded = report["plane_sharded"]
+    # Sharding is an execution policy: whatever ran (sharded or the recorded
+    # single-core fallback) must verify and keep counters byte-identical.
+    assert sharded["verified"] and sharded["correct"]
+    assert sharded["counters_identical"], "sharded plane run drifted counters"
+    xl = report["paper_xl_plane_sharded"]
+    if "skipped" not in xl:
+        assert xl["verified"] and xl["correct"]
+    if not SMOKE and sharded["shards"] >= 4:
+        # The acceptance bar: >= 2.5x over the unsharded plane engine on a
+        # >= 4-core box (single-core boxes record the fallback instead).
+        assert sharded["speedup_vs_unsharded"] >= 2.5, (
+            f"sharded paper-scale run is only {sharded['speedup_vs_unsharded']}x "
+            f"over unsharded with {sharded['shards']} shards; bar is 2.5x"
+        )
     traced = report["tracing"]
     # The zero-perturbation budget: guards must be invisible when tracing is
     # off, and the traced paper-scale run must emit at least one round span.

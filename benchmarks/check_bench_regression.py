@@ -14,6 +14,13 @@ disabled-tracer guard cost must stay under 2% of the untraced paper-scale
 run and the fully traced run under 15% -- the telemetry layer's
 zero-perturbation contract (``src/repro/obs/``).
 
+It also gates the committed ``plane_sharded`` row: the recorded run must
+have verified with counters byte-identical to the unsharded plane run, a
+live 2-shard probe on one small point must reproduce the unsharded
+counters exactly, and -- when the baseline actually ran sharded and this
+box can match its shard count -- the sharded paper-scale wall time must
+stay within the regression allowance.
+
 It additionally gates the committed ``BENCH_sweep.json`` (when present): the
 faulted-campaign row must exist, must have injected faults into >= 20% of
 runs, and must report ok-records byte-identical to the fault-free campaign
@@ -196,7 +203,96 @@ def main(argv=None) -> int:
             failures.append("traced paper-scale run emitted no round spans")
 
     # ------------------------------------------------------------------
-    # gate 4: the sweep engine's faulted-campaign row (chaos invariant)
+    # gate 4: the sharded plane engine row
+    # ------------------------------------------------------------------
+    sharded = report.get("plane_sharded")
+    if sharded is None:
+        failures.append("baseline has no plane_sharded row; regenerate BENCH_simulator.json")
+    else:
+        note = (
+            f" (fallback: {sharded['skip_reason']})" if sharded.get("skip_reason") else ""
+        )
+        print(
+            f"plane-sharded row: {sharded['shards']} shard(s), "
+            f"{sharded['seconds']}s, "
+            f"{sharded.get('speedup_vs_unsharded')}x vs unsharded{note}"
+        )
+        if not (sharded.get("verified") and sharded.get("correct")):
+            failures.append("plane_sharded: recorded run failed verification")
+        if not sharded.get("counters_identical"):
+            failures.append(
+                "plane_sharded: recorded counters drifted from the unsharded plane run"
+            )
+        # Live parity probe: one small point through a real 2-worker pool
+        # (explicit shard counts spawn workers even on a single-core box)
+        # must verify and reproduce the unsharded counters byte-for-byte.
+        if "plane" in shared.get("seconds", {}):
+            probe = strong_scaling_sweep(
+                square_shape(int(shared["shape"].rsplit("=", 1)[-1])),
+                (shared["p_values"][0],),
+            )[0]
+            base_run = run_algorithm("COSMA", probe, mode="plane", verify=True)
+            sharded_run = run_algorithm(
+                "COSMA", probe, mode="plane", verify=True, shards=2
+            )
+            def _sig(r):
+                return [
+                    r.mean_words_per_rank, r.max_words_per_rank, r.rounds,
+                    r.total_flops, r.input_words_per_rank,
+                    r.output_words_per_rank, r.max_messages_per_rank,
+                ]
+            print(
+                f"plane-sharded live probe (p={probe.p}, shards=2): "
+                f"verified={sharded_run.verified and sharded_run.correct}, "
+                f"counters match={_sig(sharded_run) == _sig(base_run)}"
+            )
+            if not (sharded_run.verified and sharded_run.correct):
+                failures.append("plane_sharded: live shards=2 probe failed verification")
+            if _sig(sharded_run) != _sig(base_run):
+                failures.append(
+                    "plane_sharded: live shards=2 probe drifted counters vs unsharded"
+                )
+        # Timing gate only when the committed row actually ran sharded AND
+        # this box can match its shard count; otherwise the comparison would
+        # pit a multi-core baseline against a single-core rerun.
+        if sharded.get("shards", 1) > 1:
+            from repro.machine.shard import available_shards
+            live_shards, live_reason = available_shards(sharded["shards"])
+            if live_shards == sharded["shards"]:
+                xl_scenario = Scenario(
+                    name=sharded["scenario"],
+                    shape=square_shape(int(sharded["shape"].rsplit("=", 1)[-1])),
+                    p=int(sharded["p"]),
+                    memory_words=int(sharded["memory_words"]),
+                    regime="limited",
+                )
+                start = time.perf_counter()
+                run_algorithm(
+                    "COSMA", xl_scenario, mode="plane", verify=True,
+                    shards=live_shards,
+                )
+                sharded_seconds = time.perf_counter() - start
+                sharded_allowed = (
+                    sharded["seconds"] * (1.0 + args.max_regression) + NOISE_FLOOR_S
+                )
+                print(
+                    f"plane-sharded rerun: {sharded_seconds:.2f}s "
+                    f"(baseline {sharded['seconds']}s, allowed {sharded_allowed:.2f}s)"
+                )
+                if sharded_seconds > sharded_allowed:
+                    failures.append(
+                        f"plane_sharded timing regression: {sharded_seconds:.2f}s > "
+                        f"{sharded_allowed:.2f}s"
+                    )
+            else:
+                print(
+                    f"plane-sharded timing gate skipped: baseline used "
+                    f"{sharded['shards']} shards, this box allows {live_shards} "
+                    f"({live_reason})"
+                )
+
+    # ------------------------------------------------------------------
+    # gate 5: the sweep engine's faulted-campaign row (chaos invariant)
     # ------------------------------------------------------------------
     sweep_path = Path(args.sweep_baseline)
     if sweep_path.exists():

@@ -29,7 +29,7 @@ from repro.algorithms import Plan, cosma_idle_fraction, get_algorithm, registere
 from repro.baselines.costs import CostPrediction
 from repro.core.cost_model import cosma_io_cost
 from repro.machine.simulator import DistributedMachine
-from repro.machine.transport import MODES, ShapeToken
+from repro.machine.transport import MODES, ShapeToken, allclose_tolerances
 from repro.obs.trace import active_tracer
 from repro.pebbling.mmm_bounds import parallel_io_lower_bound, sequential_io_lower_bound
 from repro.utils.validation import check_positive_int
@@ -125,6 +125,8 @@ def multiply(
     algorithm: str = "COSMA",
     mode: str = "legacy",
     compress_rounds: bool = False,
+    shards: int = 1,
+    plane_dtype: str = "float64",
 ) -> RunReport:
     """Multiply ``A @ B`` with any registered algorithm on a simulated machine.
 
@@ -154,6 +156,17 @@ def multiply(
         communication rounds replay a cached counter delta instead of
         re-executing the schedule.  Only effective in ``"volume"`` mode;
         counters are byte-identical either way.
+    shards:
+        Numeric execution policy for ``"plane"`` mode: number of worker
+        processes the batched GEMMs are sharded across over shared memory
+        (:mod:`repro.machine.shard`).  ``1`` (default) keeps the in-process
+        engine.  Counters are byte-identical across shard counts; like
+        ``compress_rounds``, shards never enters a sweep run's identity key.
+    plane_dtype:
+        Element dtype for numeric payloads (``"float64"`` default,
+        ``"float32"`` opt-in).  Verification switches to relative
+        tolerances appropriate for the dtype; counters are unchanged
+        (words are elements, not bytes).
 
     Examples
     --------
@@ -193,7 +206,8 @@ def multiply(
         options["grid"] = run_plan.grid
 
     machine = DistributedMachine(
-        processors, memory_words=memory_words, mode=mode, compress_rounds=compress_rounds
+        processors, memory_words=memory_words, mode=mode,
+        compress_rounds=compress_rounds, shards=shards, plane_dtype=plane_dtype,
     )
     if mode == "volume":
         a_in: np.ndarray | ShapeToken = ShapeToken((m, k))
@@ -225,7 +239,8 @@ def multiply(
     verified = mode != "volume"
     correct = True
     if verified:
-        correct = bool(np.allclose(product, a_in @ b_in, atol=1e-8 * k))
+        rtol, atol_unit = allclose_tolerances(getattr(product, "dtype", np.float64))
+        correct = bool(np.allclose(product, a_in @ b_in, rtol=rtol, atol=atol_unit * k))
     counters = machine.counters
     bound = run_plan.lower_bound_per_rank  # same inputs as the Theorem 2 call
     return RunReport(

@@ -58,7 +58,7 @@ from repro.experiments.harness import sweep
 from repro.experiments.perf_model import simulated_time
 from repro.experiments.report import format_table, group_by_scenario
 from repro.machine.topology import MachineSpec
-from repro.machine.transport import MODES
+from repro.machine.transport import MODES, PLANE_DTYPES
 from repro.obs import (
     LOG_LEVELS,
     CampaignProgress,
@@ -96,6 +96,21 @@ def _add_multiply_args(p_mult: argparse.ArgumentParser) -> None:
         help=(
             "replay cached counter deltas for structurally identical rounds "
             "(volume mode only; counters are byte-identical, runs much faster)"
+        ),
+    )
+    p_mult.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "shard the plane engine's numeric GEMMs across this many worker "
+            "processes over shared memory (counters are byte-identical across "
+            "shard counts; 1 = in-process engine)"
+        ),
+    )
+    p_mult.add_argument(
+        "--plane-dtype", choices=list(PLANE_DTYPES), default="float64",
+        help=(
+            "element dtype for numeric payloads; float32 halves memory and "
+            "speeds up GEMMs, verified at relative tolerance"
         ),
     )
 
@@ -308,6 +323,7 @@ def _cmd_multiply(args: argparse.Namespace) -> int:
         a, b, processors=args.processors, memory_words=args.memory,
         algorithm=args.algorithm, mode=args.mode,
         compress_rounds=args.compress_rounds,
+        shards=args.shards, plane_dtype=args.plane_dtype,
     )
     print(f"problem              : C({args.m}x{args.n}) = A({args.m}x{args.k}) B({args.k}x{args.n})")
     print(f"algorithm            : {result.algorithm}")

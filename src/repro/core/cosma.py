@@ -90,8 +90,11 @@ def cosma_multiply(
         Use one-sided gets for the panel exchange instead of broadcast trees
         (section 7.4); the volume is identical, the round accounting differs.
     """
-    a_matrix = as_payload(a_matrix)
-    b_matrix = as_payload(b_matrix)
+    # Normalize operands at the machine's plane dtype: a float32 machine
+    # receives float32 payloads directly, never a float64 round-trip.
+    plane_dtype = None if machine is None else machine.transport.dtype
+    a_matrix = as_payload(a_matrix, dtype=plane_dtype)
+    b_matrix = as_payload(b_matrix, dtype=plane_dtype)
     m, k = a_matrix.shape
     k2, n = b_matrix.shape
     if k != k2:
@@ -291,6 +294,53 @@ def _hop_positions(hops) -> tuple[np.ndarray, np.ndarray]:
     return src, dst
 
 
+def _sharded_gemm(
+    machine: DistributedMachine,
+    a_data: np.ndarray,
+    b_data: np.ndarray,
+    c_plane: PayloadPlane,
+) -> None:
+    """Run the product on the shard pool: ``machine.shards`` worker processes.
+
+    The parent copies A and B into shared-memory segments once; each worker
+    owns a contiguous row stripe of the output and computes
+    ``out[r0:r1] = a[r0:r1] @ b`` straight into the shared output segment
+    (fusing the per-layer GEMM and the k reduction of the in-process path).
+    Only (job id, slice spec) messages cross the pipes.  All counters were
+    already posted in the parent -- nothing here touches accounting.
+    """
+    from repro.machine.shard import get_pool, split_offsets
+
+    m = int(c_plane.data.shape[1])
+    pool = get_pool(machine.shards)
+    trace = machine.trace
+    try:
+        pool.share("cosma.A", a_data)
+        pool.share("cosma.B", b_data)
+        out = pool.share_zeros("cosma.OUT", c_plane.data.shape[1:], a_data.dtype)
+        specs = [
+            {"a": "cosma.A", "b": "cosma.B", "out": "cosma.OUT", "rows": [r0, r1]}
+            for r0, r1 in split_offsets(m, machine.shards)
+        ]
+        start_ns = trace.tracer.now_ns() if trace is not None else 0
+        infos = pool.run("gemm_rows", specs)
+        if trace is not None:
+            for shard, (info, rows) in enumerate(zip(infos, split_offsets(m, machine.shards))):
+                trace.tracer.complete(
+                    "cosma-shard-gemm", cat="gemm", start_ns=start_ns,
+                    dur_ns=int(info.get("seconds", 0.0) * 1e9),
+                    args={"shard": shard, "rows": list(rows)},
+                    track="gemm",
+                )
+        # Copy the product out of shared memory before the segments die; the
+        # plane (and everything downstream) must never reference pool-owned
+        # buffers or releasing them would raise BufferError.
+        c_plane.data[0][...] = out
+        out = None
+    finally:
+        pool.release()
+
+
 def _cosma_batched(
     a_matrix: np.ndarray,
     b_matrix: np.ndarray,
@@ -347,6 +397,13 @@ def _cosma_batched(
     # ------------------------------------------------------------------
     # storage: planes + per-rank views (plane mode) or tokens (volume mode)
     # ------------------------------------------------------------------
+    # Sharded numeric execution (shards > 1): the k-layer stack never
+    # materializes -- shard workers write row stripes of the *final* product
+    # into one shared (m, n) output, so the C plane collapses to a single
+    # sheet.  Every per-rank view keeps its true shape either way, which is
+    # what keeps memory accounting (and all counters) byte-identical across
+    # shard counts.
+    sharded = numeric and machine.shards > 1
     if numeric:
         a_plane = machine.register_plane(
             "cosma.A", PayloadPlane("cosma.A", data=np.asarray(a_matrix)[None]),
@@ -356,7 +413,7 @@ def _cosma_batched(
             "cosma.B", PayloadPlane("cosma.B", data=np.asarray(b_matrix)[None]),
             replace=True,
         )
-        c_plane = machine.new_plane("cosma.C", (pk, m, n))
+        c_plane = machine.new_plane("cosma.C", (1 if sharded else pk, m, n))
     for domain in decomposition.domains:
         rank = machine.rank(domain.rank)
         i0, i1 = domain.i_range
@@ -367,7 +424,8 @@ def _cosma_batched(
             rank.put("A_own", a_plane.attach(domain.rank, 0, slice(i0, i1), slice(ak0, ak1)))
             rank.put("B_own", b_plane.attach(domain.rank, 0, slice(bk0, bk1), slice(j0, j1)))
             rank.put("C_acc", c_plane.attach(
-                domain.rank, domain.coords[2], slice(i0, i1), slice(j0, j1)
+                domain.rank, 0 if sharded else domain.coords[2],
+                slice(i0, i1), slice(j0, j1),
             ))
         else:
             rank.put("A_own", ShapeToken((i1 - i0, ak1 - ak0)))
@@ -499,7 +557,8 @@ def _cosma_batched(
         gemm_span = (
             trace.tracer.span(
                 "cosma-plane-gemm", cat="gemm",
-                args={"layers": pk, "m": m, "n": n, "k": k},
+                args={"layers": pk, "m": m, "n": n, "k": k,
+                      "shards": machine.shards if sharded else 1},
                 track="gemm",
             )
             if trace is not None
@@ -508,9 +567,12 @@ def _cosma_batched(
         with gemm_span:
             a_data = np.asarray(a_matrix)
             b_data = np.asarray(b_matrix)
-            for kk in range(pk):
-                k0, k1 = k_ranges[kk]
-                np.matmul(a_data[:, k0:k1], b_data[k0:k1, :], out=c_plane.data[kk])
+            if sharded:
+                _sharded_gemm(machine, a_data, b_data, c_plane)
+            else:
+                for kk in range(pk):
+                    k0, k1 = k_ranges[kk]
+                    np.matmul(a_data[:, k0:k1], b_data[k0:k1, :], out=c_plane.data[kk])
 
     # ------------------------------------------------------------------
     # C reduction along the k fibers (single np.add.reduce over the stack)

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.algorithms import ALGORITHMS, DEFAULT_ALGORITHMS, get_algorithm
 from repro.machine.simulator import DistributedMachine
-from repro.machine.transport import MODES, ShapeToken
+from repro.machine.transport import MODES, ShapeToken, allclose_tolerances
 from repro.obs.trace import active_tracer
 from repro.workloads.scaling import Scenario
 from repro.workloads.shapes import ProblemShape
@@ -159,6 +159,8 @@ def run_algorithm(
     verify: bool = True,
     mode: str = "legacy",
     compress_rounds: bool = False,
+    shards: int = 1,
+    plane_dtype: str = "float64",
 ) -> AlgorithmRun:
     """Run one algorithm on one scenario and collect its metrics.
 
@@ -168,8 +170,12 @@ def run_algorithm(
     are shape tokens and numerical verification is skipped (counters only).
     ``compress_rounds`` opts into steady-state round compression (effective
     in volume mode only; counters are byte-identical either way, see
-    :class:`~repro.machine.counters.RoundCompressor`).  Every run ends with a
-    word-conservation assertion
+    :class:`~repro.machine.counters.RoundCompressor`).  ``shards`` shards
+    the plane engine's numeric GEMMs over worker processes
+    (:mod:`repro.machine.shard`; counters are byte-identical across shard
+    counts) and ``plane_dtype`` selects the numeric payload dtype
+    (verification uses dtype-appropriate relative tolerances).  Every run
+    ends with a word-conservation assertion
     (:meth:`~repro.machine.counters.CommCounters.assert_conservation`).
     """
     spec = get_algorithm(name)
@@ -185,7 +191,7 @@ def run_algorithm(
         a_matrix, b_matrix = shape.random_matrices(seed=seed)
     machine = DistributedMachine(
         scenario.p, memory_words=scenario.memory_words, mode=mode,
-        compress_rounds=compress_rounds,
+        compress_rounds=compress_rounds, shards=shards, plane_dtype=plane_dtype,
     )
     options: dict = {}
     if spec.name == "COSMA":
@@ -221,8 +227,10 @@ def run_algorithm(
     verified = bool(verify) and mode != "volume"
     correct = True
     if verified:
+        rtol, atol_unit = allclose_tolerances(getattr(product, "dtype", np.float64))
         correct = bool(np.allclose(
-            product, _reference_product(shape, seed), atol=1e-8 * shape.k
+            product, _reference_product(shape, seed),
+            rtol=rtol, atol=atol_unit * shape.k,
         ))
     machine.counters.assert_conservation()
     counters = machine.counters
@@ -252,6 +260,8 @@ def run_algorithm_safe(
     verify: bool = True,
     mode: str = "legacy",
     compress_rounds: bool = False,
+    shards: int = 1,
+    plane_dtype: str = "float64",
 ) -> AlgorithmRun | RunFailure:
     """Like :func:`run_algorithm` but captures failures as :class:`RunFailure`.
 
@@ -266,7 +276,7 @@ def run_algorithm_safe(
     try:
         return run_algorithm(
             name, scenario, seed=seed, verify=verify, mode=mode,
-            compress_rounds=compress_rounds,
+            compress_rounds=compress_rounds, shards=shards, plane_dtype=plane_dtype,
         )
     except Exception as exc:  # noqa: BLE001 - the point is to capture anything
         return RunFailure(

@@ -1,0 +1,479 @@
+"""Persistent shard-worker pool for the plane engine's numeric execution.
+
+The plane transport executes a whole machine's batched GEMMs in-process
+(:mod:`repro.core.cosma` ``_cosma_batched``).  This module shards that work
+across a pool of worker *processes* over ``multiprocessing.shared_memory``:
+
+* the parent creates shared segments for each operand, copies the operand in
+  once, and workers **attach** to the segments at pool start -- after that,
+  every job message carries only ``(job id, kernel name, slice spec)``, never
+  an array payload (zero-copy handoff);
+* each worker owns one contiguous stripe of the leading axis
+  (:func:`split_offsets`) and runs a named kernel from :data:`KERNELS` over
+  its stripe, writing results straight into the shared output segment;
+* BLAS threading inside each worker is pinned via environment variables at
+  spawn time (``OPENBLAS_NUM_THREADS`` et al. read at import), so ``shards``
+  workers split the machine's cores instead of oversubscribing them.
+
+Counter accounting never enters this module: all counters stay in the parent
+on the :class:`~repro.machine.counters.CounterMatrix` path, which is what
+makes counters byte-identical across shard counts by construction.
+
+Supervision is SIGKILL-safe: the parent waits on each worker's pipe *and*
+its process sentinel (:func:`multiprocessing.connection.wait`); a worker
+that dies without replying surfaces a structured :class:`ShardWorkerError`
+(never a hang), and the broken pool is evicted from the module cache.
+
+``shards=1`` callers must not construct a pool at all -- the in-process
+engine is the provable baseline (:func:`available_shards` reports whether a
+multi-shard pool is even worth building on this host).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+import traceback
+from contextlib import contextmanager
+from typing import Sequence
+
+import numpy as np
+
+#: Environment variables that pin the BLAS/OpenMP thread count in a freshly
+#: spawned interpreter (read at numpy import, hence set before spawn).
+_BLAS_ENV_VARS = (
+    "OPENBLAS_NUM_THREADS",
+    "OMP_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed: crashed/killed mid-job, or raised in a kernel.
+
+    Attributes
+    ----------
+    shard:
+        Index of the failing worker.
+    exitcode:
+        The dead process's exit code (``None`` when the worker survived but
+        its kernel raised).
+    """
+
+    def __init__(self, message: str, shard: int, exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = int(shard)
+        self.exitcode = exitcode
+
+
+def split_offsets(extent: int, parts: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` stripes splitting ``extent`` into ``parts``.
+
+    Uneven extents spread the remainder over the leading stripes (numpy
+    ``array_split`` convention), so e.g. 10 rows over 3 shards become
+    ``(0,4) (4,7) (7,10)``.  Stripes for ``parts > extent`` degenerate to
+    empty trailing ranges, which kernels treat as no-ops.
+    """
+    parts = max(1, int(parts))
+    base, remainder = divmod(int(extent), parts)
+    offsets = []
+    start = 0
+    for index in range(parts):
+        stop = start + base + (1 if index < remainder else 0)
+        offsets.append((start, stop))
+        start = stop
+    return offsets
+
+
+def available_shards(requested: int) -> tuple[int, str | None]:
+    """Effective shard count for this host, with a skip reason when reduced.
+
+    Returns ``(effective, None)`` when a multi-process pool makes sense, or
+    ``(1, reason)`` when the host cannot profit from one (single core) or
+    cannot run one (no usable ``shared_memory``).  Callers that received an
+    *explicit* shard count should honor it regardless -- this helper only
+    governs defaults (the benchmark's recorded-fallback path).
+    """
+    requested = int(requested)
+    if requested <= 1:
+        return 1, None
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        return 1, f"cpu_count={cpus}"
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=8)
+        probe.close()
+        probe.unlink()
+    except Exception as exc:  # pragma: no cover - platform-specific
+        return 1, f"shared_memory unavailable: {type(exc).__name__}: {exc}"
+    return min(requested, cpus), None
+
+
+# ----------------------------------------------------------------------
+# kernels (resolved by name inside the worker -- specs stay picklable)
+# ----------------------------------------------------------------------
+
+def _kernel_gemm_rows(segments: dict[str, np.ndarray], spec: dict) -> None:
+    """``out[r0:r1] = a[r0:r1] @ b`` over this shard's row stripe.
+
+    Fuses the per-slot GEMM and the k-reduction of the unsharded plane path:
+    each shard computes its stripe of the *final* product directly, so no
+    ``(slots, m, n)`` intermediate stack is ever materialized.
+    """
+    r0, r1 = (int(edge) for edge in spec["rows"])
+    if r0 >= r1:
+        return
+    a = segments[spec["a"]]
+    b = segments[spec["b"]]
+    out = segments[spec["out"]]
+    np.matmul(a[r0:r1], b, out=out[r0:r1])
+
+
+#: Named kernels a worker may be asked to run.  Workers resolve the name in
+#: their own interpreter, so job messages stay tiny and picklable.
+KERNELS = {
+    "gemm_rows": _kernel_gemm_rows,
+}
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+def _worker_main(conn, shard_index: int) -> None:  # pragma: no cover - subprocess
+    """Shard worker loop: attach to segments once, then run slice-spec jobs."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    # The parent owns every segment's lifetime.  Spawned workers share the
+    # parent's resource-tracker process, and Python < 3.13 has no
+    # ``SharedMemory(track=False)``: an attach would re-register the name
+    # and the tracker would try to unlink it again at exit.  Suppress
+    # shared-memory registration for this worker (it only ever attaches).
+    _original_register = resource_tracker.register
+
+    def _register(name, rtype):
+        if rtype != "shared_memory":
+            _original_register(name, rtype)
+
+    resource_tracker.register = _register
+
+    segments: dict[str, tuple] = {}
+
+    def _drop_segments() -> None:
+        for tag in list(segments):
+            shm, _array = segments.pop(tag)
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+    try:
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "attach":
+                _, tag, shm_name, shape, dtype_name = message
+                shm = shared_memory.SharedMemory(name=shm_name)
+                array = np.ndarray(
+                    tuple(shape), dtype=np.dtype(dtype_name), buffer=shm.buf
+                )
+                segments[tag] = (shm, array)
+                conn.send(("ok", None, {}))
+            elif op == "run":
+                _, job_id, kernel_name, spec = message
+                try:
+                    views = {tag: array for tag, (_shm, array) in segments.items()}
+                    start = time.perf_counter()
+                    KERNELS[kernel_name](views, spec)
+                    seconds = time.perf_counter() - start
+                    del views
+                    conn.send(("ok", job_id, {"seconds": seconds}))
+                except Exception as exc:
+                    tail = traceback.format_exc(limit=4)
+                    conn.send(("error", job_id, type(exc).__name__, str(exc), tail))
+            elif op == "release":
+                _drop_segments()
+                conn.send(("ok", None, {}))
+            elif op == "stop":
+                _drop_segments()
+                conn.send(("ok", None, {}))
+                return
+            else:
+                conn.send(("error", None, "ValueError", f"unknown op {op!r}", ""))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        _drop_segments()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent-side pool
+# ----------------------------------------------------------------------
+
+@contextmanager
+def _pinned_blas_env(threads_per_shard: int):
+    """Temporarily pin BLAS thread env vars while spawning workers.
+
+    Spawned interpreters re-import numpy and read these variables during
+    BLAS initialization, so the pin applies per-worker without touching the
+    parent's already-initialized BLAS.
+    """
+    saved = {name: os.environ.get(name) for name in _BLAS_ENV_VARS}
+    os.environ.update({name: str(threads_per_shard) for name in _BLAS_ENV_VARS})
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+class ShardPool:
+    """A persistent pool of shard workers over shared-memory segments.
+
+    Lifecycle: construct (spawns workers) -> :meth:`share` operands ->
+    :meth:`run` jobs (any number of rounds) -> :meth:`release` segments ->
+    repeat share/run/release -> :meth:`shutdown`.  A worker death at any
+    point raises :class:`ShardWorkerError` and poisons the pool
+    (:attr:`broken`); poisoned pools refuse further work.
+    """
+
+    def __init__(self, shards: int, blas_threads: int | None = None) -> None:
+        import multiprocessing as mp
+
+        if int(shards) < 2:
+            raise ValueError("ShardPool needs shards >= 2; shards=1 is the in-process engine")
+        self.shards = int(shards)
+        self.broken = False
+        self._job_counter = 0
+        #: tag -> (SharedMemory, parent ndarray view)
+        self._segments: dict[str, tuple] = {}
+        if blas_threads is None:
+            blas_threads = max(1, (os.cpu_count() or 1) // self.shards)
+        self.blas_threads = int(blas_threads)
+        context = mp.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        with _pinned_blas_env(self.blas_threads):
+            for index in range(self.shards):
+                parent_conn, child_conn = context.Pipe()
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, index),
+                    name=f"repro-shard-{index}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+
+    # -- supervision ------------------------------------------------------
+    def _await_replies(self, pending: set[int]) -> list:
+        """One reply per pending worker; SIGKILL-safe via process sentinels."""
+        from multiprocessing import connection
+
+        replies: list = [None] * self.shards
+        pending = set(pending)
+        while pending:
+            conn_of = {self._conns[i]: i for i in pending}
+            sentinel_of = {self._procs[i].sentinel: i for i in pending}
+            ready = connection.wait(list(conn_of) + list(sentinel_of))
+            for handle in ready:
+                index = conn_of.get(handle)
+                if index is not None:
+                    try:
+                        replies[index] = self._conns[index].recv()
+                    except (EOFError, OSError):
+                        self._fail(index)
+                    pending.discard(index)
+                    continue
+                index = sentinel_of[handle]
+                if index in pending and not self._conns[index].poll():
+                    # Sentinel fired with no buffered reply: the worker died
+                    # mid-job (crash or SIGKILL).
+                    self._fail(index)
+        return replies
+
+    def _fail(self, index: int) -> None:
+        proc = self._procs[index]
+        proc.join(timeout=1.0)
+        exitcode = proc.exitcode
+        self.broken = True
+        self._terminate()
+        raise ShardWorkerError(
+            f"shard worker {index}/{self.shards} died with exit code {exitcode} "
+            "before replying (crashed or killed); pool discarded",
+            shard=index,
+            exitcode=exitcode,
+        )
+
+    def _send(self, index: int, message) -> None:
+        try:
+            self._conns[index].send(message)
+        except (BrokenPipeError, OSError):
+            # The worker died before we could even hand it the job.
+            self._fail(index)
+
+    def _broadcast(self, message) -> list:
+        if self.broken:
+            raise ShardWorkerError("pool is broken; build a new one", shard=-1)
+        for index in range(self.shards):
+            self._send(index, message)
+        return self._await_replies(set(range(self.shards)))
+
+    # -- shared segments --------------------------------------------------
+    def share(self, tag: str, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into a fresh shared segment attached on every worker.
+
+        Returns the parent-side view of the segment.  The pool owns the
+        segment (and the only long-lived references to its buffer), so
+        :meth:`release` can close and unlink it without ``BufferError``.
+        """
+        array = np.ascontiguousarray(array)
+        return self._create(tag, array.shape, array.dtype, fill=array)
+
+    def share_zeros(self, tag: str, shape: Sequence[int], dtype) -> np.ndarray:
+        """A zero-initialized shared segment attached on every worker."""
+        return self._create(tag, tuple(int(e) for e in shape), np.dtype(dtype))
+
+    def _create(self, tag, shape, dtype, fill=None) -> np.ndarray:
+        from multiprocessing import shared_memory
+
+        if tag in self._segments:
+            raise ValueError(f"segment {tag!r} already shared; release() first")
+        nbytes = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        if fill is None:
+            view.fill(0)
+        else:
+            view[...] = fill
+        self._segments[tag] = (shm, view)
+        try:
+            self._broadcast(("attach", tag, shm.name, tuple(shape), np.dtype(dtype).name))
+        except ShardWorkerError:
+            raise
+        return view
+
+    def release(self) -> None:
+        """Detach workers from and destroy every shared segment."""
+        if not self._segments:
+            return
+        if not self.broken:
+            self._broadcast(("release",))
+        for tag in list(self._segments):
+            self._destroy_segment(*self._segments.pop(tag))
+
+    # -- jobs -------------------------------------------------------------
+    def run(self, kernel: str, specs: Sequence[dict]) -> list[dict]:
+        """Run one slice-spec job per shard; return each worker's info dict.
+
+        ``specs[i]`` goes to worker ``i`` (one message of a few hundred
+        bytes -- arrays travel only through the shared segments).  Raises
+        :class:`ShardWorkerError` if any worker dies or its kernel raises.
+        """
+        if len(specs) != self.shards:
+            raise ValueError(f"need {self.shards} specs, got {len(specs)}")
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; known: {tuple(KERNELS)}")
+        if self.broken:
+            raise ShardWorkerError("pool is broken; build a new one", shard=-1)
+        self._job_counter += 1
+        job_id = self._job_counter
+        for index, spec in enumerate(specs):
+            self._send(index, ("run", job_id, kernel, spec))
+        replies = self._await_replies(set(range(self.shards)))
+        infos = []
+        for index, reply in enumerate(replies):
+            if reply[0] == "error":
+                _, _, type_name, text, tail = reply
+                self.broken = True
+                self._terminate()
+                raise ShardWorkerError(
+                    f"shard worker {index} kernel {kernel!r} raised "
+                    f"{type_name}: {text}\n{tail}",
+                    shard=index,
+                )
+            infos.append(reply[2])
+        return infos
+
+    # -- teardown ---------------------------------------------------------
+    def _terminate(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for tag in list(self._segments):
+            self._destroy_segment(*self._segments.pop(tag))
+
+    @staticmethod
+    def _destroy_segment(shm, view) -> None:
+        # A caller still holding a view of the segment makes close() raise
+        # BufferError; unlink the name regardless so the segment cannot leak
+        # past the last mapping.
+        del view
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view alive
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+    def shutdown(self) -> None:
+        """Stop every worker and destroy all segments (idempotent)."""
+        if not self.broken and any(proc.is_alive() for proc in self._procs):
+            try:
+                self._broadcast(("stop",))
+            except ShardWorkerError:
+                pass
+        self.broken = True
+        self._terminate()
+
+
+# ----------------------------------------------------------------------
+# module-level pool cache (pools are expensive to spawn; reuse per count)
+# ----------------------------------------------------------------------
+
+_POOLS: dict[int, ShardPool] = {}
+
+
+def get_pool(shards: int) -> ShardPool:
+    """The cached persistent pool for ``shards`` workers (spawned on demand)."""
+    pool = _POOLS.get(int(shards))
+    if pool is not None and not pool.broken:
+        return pool
+    pool = ShardPool(int(shards))
+    _POOLS[int(shards)] = pool
+    return pool
+
+
+def evict_pool(shards: int) -> None:
+    """Drop (and shut down) the cached pool for ``shards``, if any."""
+    pool = _POOLS.pop(int(shards), None)
+    if pool is not None:
+        pool.shutdown()
+
+
+@atexit.register
+def _shutdown_all_pools() -> None:  # pragma: no cover - interpreter teardown
+    for shards in list(_POOLS):
+        try:
+            evict_pool(shards)
+        except Exception:
+            pass

@@ -169,6 +169,20 @@ class DistributedMachine:
         with counters-only payloads (``volume`` mode) -- silently ignored
         otherwise, because replaying a round would skip real data movement.
         Replayed rounds do not appear in ``round_log``.
+    shards:
+        Numeric execution policy for plane-mode algorithms: the number of
+        worker processes the batched GEMMs are sharded across
+        (:mod:`repro.machine.shard`).  ``1`` (the default) keeps the
+        in-process engine -- no pool, no shared memory.  Counters are
+        byte-identical across shard counts because all accounting stays in
+        the parent on the :class:`~repro.machine.counters.CounterMatrix`
+        path; like ``compress_rounds``, shards never participates in a
+        run's identity key.
+    plane_dtype:
+        Element dtype for numeric payloads/planes (``"float64"`` default,
+        ``"float32"`` opt-in).  Counters are dtype-independent (words are
+        elements); verification uses relative tolerances scaled to the
+        dtype.  Ignored by ``volume`` mode.
     """
 
     def __init__(
@@ -179,9 +193,12 @@ class DistributedMachine:
         enforce_memory: bool = False,
         mode: str = "legacy",
         compress_rounds: bool = False,
+        shards: int = 1,
+        plane_dtype: str = "float64",
     ) -> None:
         self.p = check_positive_int(p, "p")
-        self.transport: Transport = make_transport(mode)
+        self.shards = check_positive_int(shards, "shards")
+        self.transport: Transport = make_transport(mode, dtype=plane_dtype)
         if spec is None:
             spec = laptop_spec(memory_words or (1 << 20))
         self.spec = spec
@@ -263,7 +280,10 @@ class DistributedMachine:
 
     def new_plane(self, name: str, shape: Sequence[int]) -> PayloadPlane:
         """Allocate and register a zero-initialized ``(slots, rows, cols)`` plane."""
-        return self.register_plane(name, PayloadPlane(name, shape=shape), replace=True)
+        return self.register_plane(
+            name, PayloadPlane(name, shape=shape, dtype=self.transport.dtype),
+            replace=True,
+        )
 
     def get_plane(self, name: str) -> PayloadPlane:
         return self.planes[name]
@@ -375,8 +395,14 @@ class DistributedMachine:
         rank = self.rank(rank_id)
         counters_only = is_token(a_block) or is_token(b_block) or is_token(accumulate_into)
         if not counters_only:
-            a_block = np.asarray(a_block, dtype=np.float64)
-            b_block = np.asarray(b_block, dtype=np.float64)
+            # A float32 x float32 multiply stays float32 (the opt-in plane
+            # dtype must never silently round-trip through float64); any
+            # other operand mix is normalized to the float64 reference path.
+            a_block = np.asarray(a_block)
+            b_block = np.asarray(b_block)
+            if not (a_block.dtype == np.float32 and b_block.dtype == np.float32):
+                a_block = np.asarray(a_block, dtype=np.float64)
+                b_block = np.asarray(b_block, dtype=np.float64)
         # Validation and flop accounting are shared across modes so the two
         # representations can never diverge.
         a_shape = payload_shape(a_block)

@@ -212,11 +212,45 @@ def payload_shape(block) -> tuple[int, ...]:
     return tuple(np.asarray(block).shape)
 
 
-def as_payload(block):
-    """Normalize an algorithm's global operand: float64 array, or a token."""
+#: Plane dtypes the numeric engines accept.  Words are *elements*, not bytes,
+#: so counters are identical across dtypes; float32 halves the memory and
+#: roughly doubles GEMM throughput at a relative-tolerance verification.
+PLANE_DTYPES = ("float64", "float32")
+
+
+def plane_dtype_of(dtype) -> np.dtype:
+    """Validate and canonicalize a plane dtype (``None`` means float64)."""
+    resolved = np.dtype(np.float64 if dtype is None else dtype)
+    if resolved.name not in PLANE_DTYPES:
+        raise ValueError(
+            f"unsupported plane dtype {resolved.name!r}; known: {PLANE_DTYPES}"
+        )
+    return resolved
+
+
+def allclose_tolerances(dtype) -> tuple[float, float]:
+    """Verification tolerances ``(rtol, atol_per_k_word)`` for a product dtype.
+
+    float64 keeps the historical tolerances (numpy's default rtol, the
+    harness's ``1e-8 * k`` atol); float32 relaxes both to the dtype's ~7
+    significant digits so a correctly computed float32 product verifies
+    against a float64 (or float32) reference.
+    """
+    if np.dtype(dtype) == np.float32:
+        return 1e-4, 1e-6
+    return 1e-5, 1e-8
+
+
+def as_payload(block, dtype=None):
+    """Normalize an algorithm's global operand: float array, or a token.
+
+    The default dtype stays ``float64`` (the reference semantics); numeric
+    engines running a ``float32`` plane pass their dtype so operands are
+    never silently round-tripped through float64.
+    """
     if isinstance(block, ShapeToken):
         return block
-    return np.asarray(block, dtype=np.float64)
+    return np.asarray(block, dtype=np.float64 if dtype is None else dtype)
 
 
 def payload_view(block):
@@ -277,11 +311,13 @@ class PayloadPlane:
     __slots__ = ("name", "data", "_views")
 
     def __init__(self, name: str, shape: Sequence[int] | None = None,
-                 data: np.ndarray | None = None) -> None:
+                 data: np.ndarray | None = None, dtype=None) -> None:
         if (shape is None) == (data is None):
             raise ValueError("PayloadPlane needs exactly one of shape= or data=")
         if data is None:
-            data = np.zeros(tuple(int(extent) for extent in shape))
+            data = np.zeros(
+                tuple(int(extent) for extent in shape), dtype=plane_dtype_of(dtype)
+            )
         if data.ndim != 3:
             raise ValueError(f"a plane is a stack of 2-D sheets, got shape {data.shape}")
         self.name = str(name)
@@ -326,6 +362,11 @@ class Transport:
 
     #: Mode name, one of :data:`MODES`.
     mode = "legacy"
+    #: Element dtype of payloads the transport allocates (``zeros``) and of
+    #: planes built for it.  Words are elements, not bytes, so every counter
+    #: is dtype-independent; only numerics (and verification tolerances) see
+    #: the difference.  Set per-instance via :func:`make_transport`.
+    dtype = np.dtype(np.float64)
     #: True when payloads carry no numerics (result verification impossible).
     counters_only = False
     #: True when algorithms should take their stacked-array (plane) fast
@@ -374,7 +415,7 @@ class LegacyTransport(Transport):
     self_copy = deliver
 
     def zeros(self, shape):
-        return np.zeros(tuple(shape))
+        return np.zeros(tuple(shape), dtype=self.dtype)
 
 
 class ZeroCopyTransport(Transport):
@@ -387,14 +428,18 @@ class ZeroCopyTransport(Transport):
             self.observer.delivery(payload_words(block))
         if isinstance(block, ShapeToken):
             return block.copy()
+        # setflags(write=False) is the cheapest way to freeze a fresh view:
+        # the .flags descriptor route costs an extra attribute protocol hop
+        # per delivery, measurable on the tiny-payload sweeps where delivery
+        # count, not bytes, dominates.
         view = np.asarray(block).view()
-        view.flags.writeable = False
+        view.setflags(write=False)
         return view
 
     self_copy = deliver
 
     def zeros(self, shape):
-        return np.zeros(tuple(shape))
+        return np.zeros(tuple(shape), dtype=self.dtype)
 
 
 class PlaneTransport(ZeroCopyTransport):
@@ -439,9 +484,16 @@ _TRANSPORTS = {
 }
 
 
-def make_transport(mode: str) -> Transport:
-    """Build the transport for ``mode`` (one of :data:`MODES`)."""
+def make_transport(mode: str, dtype=None) -> Transport:
+    """Build the transport for ``mode`` (one of :data:`MODES`).
+
+    ``dtype`` selects the plane/payload element type for the numeric modes
+    (default float64); volume mode carries no numerics and ignores it.
+    """
     try:
-        return _TRANSPORTS[mode]()
+        transport = _TRANSPORTS[mode]()
     except KeyError:
         raise ValueError(f"unknown transport mode {mode!r}; known: {MODES}") from None
+    if not transport.counters_only:
+        transport.dtype = plane_dtype_of(dtype)
+    return transport

@@ -247,6 +247,8 @@ def execute_request(request: RunRequest) -> dict:
         verify=request.verify,
         mode=request.mode,
         compress_rounds=request.compress_rounds,
+        shards=request.shards,
+        plane_dtype=request.plane_dtype,
     )
     if isinstance(outcome, AlgorithmRun):
         return run_to_record(outcome, request.key, seed=request.seed)

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 from repro.algorithms import DEFAULT_ALGORITHMS, resolve_algorithm
-from repro.machine.transport import MODES
+from repro.machine.transport import MODES, PLANE_DTYPES
 from repro.sweeps.store import run_key, scenario_from_dict, scenario_to_dict
 from repro.workloads.scaling import (
     Scenario,
@@ -42,9 +42,14 @@ class RunRequest:
     counters (guarded by the golden sweep and the compression-parity tests),
     so it deliberately does not participate in :attr:`key` -- a cached
     uncompressed record answers a compressed request and vice versa.  The
-    same holds for the campaign's fault-tolerance knobs (retry policy,
-    deadlines, fault injection): attempt counts and injected faults never
-    participate in keys (see the contract in :mod:`repro.sweeps`).
+    same holds for ``shards`` (the plane engine's worker-process count:
+    counters byte-identical, products ``allclose`` across shard counts) and
+    for the campaign's fault-tolerance knobs (retry policy, deadlines,
+    fault injection): attempt counts and injected faults never participate
+    in keys (see the contract in :mod:`repro.sweeps`).
+
+    ``plane_dtype`` *does* participate in the key: a float32 run's product
+    (and verification outcome) is not interchangeable with a float64 run's.
     """
 
     algorithm: str
@@ -53,10 +58,15 @@ class RunRequest:
     seed: int = 0
     verify: bool = True
     compress_rounds: bool = False
+    shards: int = 1
+    plane_dtype: str = "float64"
 
     @property
     def key(self) -> str:
-        return run_key(self.algorithm, self.scenario, self.mode, self.seed, self.verify)
+        return run_key(
+            self.algorithm, self.scenario, self.mode, self.seed, self.verify,
+            plane_dtype=self.plane_dtype,
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -66,6 +76,8 @@ class RunRequest:
             "seed": self.seed,
             "verify": self.verify,
             "compress_rounds": self.compress_rounds,
+            "shards": self.shards,
+            "plane_dtype": self.plane_dtype,
         }
 
 
@@ -77,6 +89,8 @@ def request_from_dict(data: Mapping) -> RunRequest:
         seed=data["seed"],
         verify=data["verify"],
         compress_rounds=bool(data.get("compress_rounds", False)),
+        shards=int(data.get("shards", 1)),
+        plane_dtype=str(data.get("plane_dtype", "float64")),
     )
 
 
@@ -100,6 +114,8 @@ class SweepSpec:
     mode: str = "volume"
     seed: int = 0
     verify: bool = True
+    shards: int = 1
+    plane_dtype: str = "float64"
     points: tuple[Scenario, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -118,6 +134,10 @@ class SweepSpec:
                 raise ValueError(f"unknown regime {regime!r}; known: {REGIMES}")
         if self.mode not in MODES:
             raise ValueError(f"unknown mode {self.mode!r}; known: {MODES}")
+        if self.plane_dtype not in PLANE_DTYPES:
+            raise ValueError(
+                f"unknown plane_dtype {self.plane_dtype!r}; known: {PLANE_DTYPES}"
+            )
 
     # -- scenario grid ------------------------------------------------------
     def scenarios(self) -> list[Scenario]:
@@ -157,6 +177,8 @@ class SweepSpec:
                 mode=self.mode,
                 seed=self.seed,
                 verify=self.verify,
+                shards=self.shards,
+                plane_dtype=self.plane_dtype,
             )
             for scenario in self.scenarios()
             for algorithm in self.algorithms
@@ -177,6 +199,8 @@ class SweepSpec:
             "mode": self.mode,
             "seed": self.seed,
             "verify": self.verify,
+            "shards": self.shards,
+            "plane_dtype": self.plane_dtype,
             "points": [scenario_to_dict(s) for s in self.points],
         }
 
@@ -185,7 +209,8 @@ class SweepSpec:
         """Build a spec from a plain dict (e.g. a JSON file); unknown keys raise."""
         known = {
             "name", "algorithms", "families", "regimes", "p_values",
-            "memory_words", "mode", "seed", "verify", "points",
+            "memory_words", "mode", "seed", "verify", "shards",
+            "plane_dtype", "points",
         }
         unknown = set(data) - known
         if unknown:

@@ -61,7 +61,10 @@ from repro.workloads.shapes import ProblemShape
 #: memory below the section 6.3 precondition) into ``InfeasiblePlan`` failure
 #: records instead of executing them, so pre-registry stores could disagree
 #: with fresh runs on those points.
-KEY_VERSION = 2
+#: v3: ``plane_dtype`` joined the identity (a float32 product and its
+#: verification outcome are not interchangeable with a float64 run's);
+#: shard count remains an execution policy and stays out of the key.
+KEY_VERSION = 3
 
 #: Name of the append-only record file inside a store directory.
 RESULTS_FILENAME = "results.jsonl"
@@ -108,17 +111,19 @@ def run_key(
     mode: str = "volume",
     seed: int = 0,
     verify: bool = True,
+    plane_dtype: str = "float64",
 ) -> str:
     """The content address of one run: SHA-256 over its canonical JSON identity.
 
     Only code-relevant parameters participate -- the algorithm name, the full
     scenario (shape, p, memory, regime, name), the transport mode, the input
-    seed, the verification flag and :data:`KEY_VERSION`.  Python's randomized
-    ``hash()`` is never involved, so keys are stable across processes and
-    interpreter restarts (asserted by ``tests/test_sweeps_store.py``).
-    Execution policy never participates: attempt counts, retry/timeout
-    settings and fault injection all address the same key (see the contract
-    in :mod:`repro.sweeps`).
+    seed, the verification flag, the numeric plane dtype and
+    :data:`KEY_VERSION`.  Python's randomized ``hash()`` is never involved,
+    so keys are stable across processes and interpreter restarts (asserted
+    by ``tests/test_sweeps_store.py``).  Execution policy never
+    participates: attempt counts, retry/timeout settings, fault injection
+    and the plane engine's shard count all address the same key (see the
+    contract in :mod:`repro.sweeps`).
     """
     identity = {
         "key_version": KEY_VERSION,
@@ -127,6 +132,7 @@ def run_key(
         "mode": mode,
         "seed": seed,
         "verify": bool(verify),
+        "plane_dtype": str(plane_dtype),
     }
     canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

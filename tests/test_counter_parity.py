@@ -179,6 +179,174 @@ class TestPlaneEngine:
         assert plane.rounds == legacy.rounds
 
 
+class TestShardedPlane:
+    """Sharded plane engine: counters byte-identical, products allclose.
+
+    Sharding is an execution policy -- the parent posts every counter on the
+    :class:`~repro.machine.counters.CounterMatrix` path before any worker
+    runs, so any shard count (including uneven splits of the participant
+    axis) must reproduce the unsharded counters byte-for-byte and a product
+    ``np.allclose`` to both the unsharded plane product and ``A @ B``.
+    """
+
+    SCENARIO = limited_memory_sweep("square", [9], 2048)[0]
+
+    def _run_sharded(self, name, scenario, shards, plane_dtype="float64"):
+        machine = DistributedMachine(
+            scenario.p, memory_words=scenario.memory_words, mode="plane",
+            shards=shards, plane_dtype=plane_dtype,
+        )
+        a, b = scenario.shape.random_matrices(seed=0)
+        product = ALGORITHMS[name](a, b, scenario, machine)
+        counters = [rank.counters.copy() for rank in machine.ranks]
+        return counters, product, machine.peak_resident_words
+
+    def test_shards_one_is_bit_identical_to_plane_engine(self):
+        """``shards=1`` must be the exact in-process engine, not a near miss."""
+        counters, product, peak = self._run_sharded("COSMA", self.SCENARIO, 1)
+        reference_counters, reference_product, reference_peak = _run_mode(
+            "COSMA", self.SCENARIO, "plane"
+        )
+        assert np.array_equal(product, reference_product)  # bitwise
+        assert counters == reference_counters
+        assert peak == reference_peak
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_sharded_parity_for_every_planar_algorithm(self, name, shards):
+        scenario = self.SCENARIO
+        reference_counters, reference_product, reference_peak = _run_mode(
+            name, scenario, "plane"
+        )
+        counters, product, peak = self._run_sharded(name, scenario, shards)
+        a, b = scenario.shape.random_matrices(seed=0)
+        tol = 1e-8 * scenario.shape.k
+        assert np.allclose(product, a @ b, atol=tol), (
+            f"{name} sharded ({shards}) product diverges from A @ B"
+        )
+        assert np.allclose(product, reference_product, atol=tol), (
+            f"{name} sharded ({shards}) product diverges from the unsharded plane"
+        )
+        assert counters == reference_counters, (
+            f"{name} counters drift under shards={shards}"
+        )
+        assert peak == reference_peak
+
+    def test_uneven_split_covers_every_row(self):
+        """7 shards over a 48-row output forces uneven stripes; no row may drop."""
+        from repro.machine.shard import split_offsets
+
+        offsets = split_offsets(48, 7)
+        assert offsets[0] == (0, 7) and offsets[-1] == (42, 48)
+        assert [hi - lo for lo, hi in offsets] == [7, 7, 7, 7, 7, 7, 6]
+        covered = sorted(r for lo, hi in offsets for r in range(lo, hi))
+        assert covered == list(range(48))
+
+    def test_sigkilled_worker_surfaces_structured_error(self):
+        """A SIGKILLed shard worker must raise ShardWorkerError, never hang."""
+        import os
+        import signal
+
+        from repro.machine.shard import ShardPool, ShardWorkerError
+
+        pool = ShardPool(2)
+        try:
+            pool.share_zeros("a", (4, 4), np.float64)
+            pool.share_zeros("b", (4, 4), np.float64)
+            pool.share_zeros("out", (4, 4), np.float64)
+            victim = pool._procs[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            specs = [
+                {"a": "a", "b": "b", "out": "out", "rows": [lo, hi]}
+                for lo, hi in ((0, 2), (2, 4))
+            ]
+            with pytest.raises(ShardWorkerError) as excinfo:
+                pool.run("gemm_rows", specs)
+            assert excinfo.value.shard == 1
+            assert excinfo.value.exitcode == -signal.SIGKILL
+            assert pool.broken
+            with pytest.raises(ShardWorkerError):
+                pool.run("gemm_rows", specs)  # poisoned pools refuse work
+        finally:
+            pool.shutdown()
+
+    def test_kernel_exception_surfaces_structured_error(self):
+        from repro.machine.shard import ShardPool, ShardWorkerError
+
+        pool = ShardPool(2)
+        try:
+            pool.share_zeros("a", (4, 4), np.float64)
+            with pytest.raises(ShardWorkerError, match="KeyError"):
+                # spec references a segment that was never shared
+                pool.run("gemm_rows", [
+                    {"a": "a", "b": "missing", "out": "a", "rows": [0, 2]},
+                    {"a": "a", "b": "missing", "out": "a", "rows": [2, 4]},
+                ])
+        finally:
+            pool.shutdown()
+
+
+class TestPlaneDtype:
+    """The opt-in float32 plane dtype, end to end."""
+
+    SCENARIO = limited_memory_sweep("square", [9], 2048)[0]
+
+    def test_float32_plane_never_roundtrips_through_float64(self):
+        """A float32 input must flow into the planes without a float64 copy."""
+        scenario = self.SCENARIO
+        machine = DistributedMachine(
+            scenario.p, memory_words=scenario.memory_words, mode="plane",
+            plane_dtype="float32",
+        )
+        a, b = scenario.shape.random_matrices(seed=0)
+        a32 = np.ascontiguousarray(a, dtype=np.float32)
+        b32 = np.ascontiguousarray(b, dtype=np.float32)
+        product = ALGORITHMS["COSMA"](a32, b32, scenario, machine)
+        assert product.dtype == np.float32
+        a_plane = machine.get_plane("cosma.A")
+        assert a_plane.data.dtype == np.float32
+        # Shared memory proves no dtype conversion (a float64 round-trip
+        # would have allocated a new buffer).
+        assert np.shares_memory(a_plane.data, a32)
+        assert machine.get_plane("cosma.C").data.dtype == np.float32
+
+    def test_local_multiply_keeps_float32_operands_float32(self):
+        machine = DistributedMachine(2, memory_words=4096, plane_dtype="float32")
+        a = np.ones((4, 3), dtype=np.float32)
+        b = np.ones((3, 5), dtype=np.float32)
+        assert machine.local_multiply(0, a, b).dtype == np.float32
+        # Mixed operands still normalize to the float64 reference path.
+        assert machine.local_multiply(0, a, b.astype(np.float64)).dtype == np.float64
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_float32_counters_match_float64(self, shards):
+        """Words are elements, not bytes: counters are dtype-independent."""
+        scenario = self.SCENARIO
+        runs = {}
+        for dtype in ("float64", "float32"):
+            machine = DistributedMachine(
+                scenario.p, memory_words=scenario.memory_words, mode="plane",
+                shards=shards, plane_dtype=dtype,
+            )
+            a, b = scenario.shape.random_matrices(seed=0)
+            product = ALGORITHMS["COSMA"](a, b, scenario, machine)
+            runs[dtype] = ([r.counters.copy() for r in machine.ranks], product)
+        assert runs["float32"][0] == runs["float64"][0]
+        assert np.allclose(
+            runs["float32"][1], runs["float64"][1],
+            rtol=1e-4, atol=1e-6 * scenario.shape.k,
+        )
+
+    def test_harness_verifies_float32_at_relative_tolerance(self):
+        run = run_algorithm("COSMA", self.SCENARIO, mode="plane", plane_dtype="float32")
+        assert run.verified and run.correct
+
+    def test_unknown_plane_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unsupported plane dtype"):
+            DistributedMachine(2, memory_words=4096, plane_dtype="int32")
+
+
 def test_volume_mode_reaches_scales_legacy_cannot():
     """A quick paper-direction scale check kept small enough for CI: p = 256.
 
